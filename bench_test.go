@@ -1,0 +1,172 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at the reduced Quick scale. Each benchmark reports, via
+// custom metrics, the headline numbers the corresponding figure carries
+// (geomean slowdown percentages, coverage, energy overheads), so
+// `go test -bench=. -benchmem` both exercises the full pipeline and
+// prints the reproduction's results. Run the `paraverser` CLI for the
+// larger default scale.
+package paraverser_test
+
+import (
+	"testing"
+
+	"paraverser/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Benchmarks = []string{"perlbench", "gcc", "mcf", "exchange2", "bwaves", "imagick"}
+	return sc
+}
+
+func BenchmarkTable1Setup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig6FullCoverage(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean("1xX2@3.0"), "homog-slowdown-%")
+		b.ReportMetric(r.Geomean("4xA510@2.0"), "4xA510-slowdown-%")
+		b.ReportMetric(r.Geomean("DSN18-12"), "DSN18-slowdown-%")
+		b.ReportMetric(r.Geomean("ParaDox-16"), "ParaDox-slowdown-%")
+	}
+}
+
+func BenchmarkFig7Opportunistic(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		slow, cov, err := experiments.Fig7(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(slow.Geomean("1xX2@3.0"), "homog-slowdown-%")
+		b.ReportMetric(cov.Geomean("1xX2@3.0"), "homog-coverage-%")
+		b.ReportMetric(cov.Geomean("4xA510@2.0"), "4xA510-coverage-%")
+	}
+}
+
+func BenchmarkFig8FaultCoverage(b *testing.B) {
+	sc := benchScale()
+	sc.FaultTrials = 6
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FullDetectedPct, "full-coverage-detected-%")
+		b.ReportMetric(r.Coverage.Geomean("2xA510@2.0"), "opportunistic-coverage-%")
+	}
+}
+
+func BenchmarkFig9GAPParsec(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Values["2xA510"]["gap.bfs"], "bfs-2ck-slowdown-%")
+		b.ReportMetric(r.Values["2xA510"]["gap.pr"], "pr-2ck-slowdown-%")
+		b.ReportMetric(r.Values["3xA510"]["parsec.blackscholes"], "blackscholes-3ck-slowdown-%")
+	}
+}
+
+func BenchmarkFig10Multiprocess(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean("4xA510@2.0"), "4xA510-slowdown-%")
+		b.ReportMetric(r.Geomean("4xA510@2.0-noLSLnoc"), "4xA510-noLSL-slowdown-%")
+	}
+}
+
+func BenchmarkFig11NoCSensitivity(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Geomean("fastNoC"), "fast-slowdown-%")
+		b.ReportMetric(r.Geomean("slowNoC"), "slow-slowdown-%")
+		b.ReportMetric(r.Geomean("slowNoC+hash"), "slow-hash-slowdown-%")
+	}
+}
+
+func BenchmarkPowerStudy(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Power(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Label {
+			case "1xX2@3.0 (DCLS-comparable)":
+				b.ReportMetric(row.EnergyOverhead*100, "homog-energy-%")
+			case "4xA510@2.0":
+				b.ReportMetric(row.EnergyOverhead*100, "4xA510-energy-%")
+			case "4xA510 ED2P-minimal DVFS":
+				b.ReportMetric(row.EnergyOverhead*100, "ed2p-energy-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAreaAccounting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := experiments.Area()
+		b.ReportMetric(float64(a.StorageBytes), "storage-bytes")
+		b.ReportMetric(a.DedicatedPct, "dedicated-area-%")
+	}
+}
+
+func BenchmarkOpportunityCost(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Opportunity(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Label == "GAP-like: speedup, 1 X2 + little cores as compute" {
+				b.ReportMetric(row.Value, "gap-het-speedup-x")
+			}
+			if row.Label == "GAP-like: overhead, little cores as checkers" {
+				b.ReportMetric(row.Value, "gap-check-overhead-%")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ablation(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			switch row.Label {
+			case "ParaVerser (all mechanisms)":
+				b.ReportMetric(row.SlowdownPct, "base-slowdown-%")
+			case "Hash Mode (IV-I)":
+				b.ReportMetric(row.LogBPI, "hash-log-B/inst")
+			case "opportunistic + 1-in-4 sampling (fn.18)":
+				b.ReportMetric(row.CoveragePct, "sampled-coverage-%")
+			}
+		}
+	}
+}

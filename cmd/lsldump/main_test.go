@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestResolveWorkloads(t *testing.T) {
+	for _, name := range []string{"bwaves", "gap.bfs", "parsec.dedup"} {
+		w, err := resolve(name, 1000)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if w.Prog == nil {
+			t.Errorf("%s: nil program", name)
+		}
+	}
+	for _, name := range []string{"nope", "gap.dijkstra", "parsec.vips"} {
+		if _, err := resolve(name, 1000); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDumpRuns(t *testing.T) {
+	if err := dump("exchange2", 5_000, 2, false, 3, 1000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := dump("gap.cc", 5_000, 2, true, 0, 1000, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunArgHandling(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"no-such-workload"}); code != 1 {
+		t.Errorf("bad workload: exit %d, want 1", code)
+	}
+	if code := run([]string{"-insts", "3000", "-segs", "1", "mcf"}); code != 0 {
+		t.Errorf("good run: exit %d", code)
+	}
+}

@@ -1,0 +1,148 @@
+// Command paraverser regenerates the paper's tables and figures and runs
+// ad-hoc checking experiments.
+//
+// Usage:
+//
+//	paraverser [flags] <experiment>...
+//
+// Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area
+// opportunity ablation all
+//
+// Flags select the simulation scale; the default "full" scale runs each
+// benchmark for 250k measured instructions after a 150k-instruction
+// warmup (scaled down from the paper's 1B-instruction windows after 10B
+// fast-forward).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"paraverser/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("paraverser", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the reduced test scale (~1 minute)")
+	insts := fs.Int64("insts", 0, "override measured instructions per benchmark")
+	warmup := fs.Int64("warmup", 0, "override warmup instructions per benchmark")
+	benches := fs.String("benchmarks", "", "comma-separated SPEC subset (default: all 20)")
+	trials := fs.Int("fault-trials", 0, "override fig. 8 fault injections per benchmark")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
+		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation all\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+	if *insts > 0 {
+		sc.Insts = *insts
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *benches != "" {
+		sc.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *trials > 0 {
+		sc.FaultTrials = *trials
+	}
+
+	names := fs.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := runExperiment(name, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+func runExperiment(name string, sc experiments.Scale) error {
+	switch name {
+	case "table1":
+		fmt.Println(experiments.Table1())
+	case "area":
+		fmt.Println(experiments.Area().Table())
+	case "fig6":
+		r, err := experiments.Fig6(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig7":
+		slow, cov, err := experiments.Fig7(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(slow.Table())
+		fmt.Println(cov.Table())
+	case "fig8":
+		r, err := experiments.Fig8(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Coverage.Table())
+	case "fig9":
+		r, err := experiments.Fig9(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig10":
+		r, err := experiments.Fig10(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "fig11":
+		r, err := experiments.Fig11(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "power":
+		r, err := experiments.Power(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "opportunity":
+		r, err := experiments.Opportunity(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	case "ablation":
+		r, err := experiments.Ablation(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Table())
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+
+	"paraverser/internal/experiments"
+)
+
+func TestRunArgHandling(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"no-such-experiment"}); code != 1 {
+		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+}
+
+func TestRunStaticExperiments(t *testing.T) {
+	if code := run([]string{"table1", "area"}); code != 0 {
+		t.Errorf("static experiments: exit %d", code)
+	}
+}
+
+func TestRunTinySimulation(t *testing.T) {
+	code := run([]string{
+		"-quick", "-insts", "20000", "-warmup", "20000",
+		"-benchmarks", "exchange2", "fig6",
+	})
+	if code != 0 {
+		t.Errorf("tiny fig6: exit %d", code)
+	}
+}
+
+func TestExperimentDispatchCoversAll(t *testing.T) {
+	// Every name the "all" alias expands to must dispatch (checked
+	// against the cheap ones; simulation-heavy ones covered above and in
+	// the experiments package).
+	sc := experiments.Quick()
+	for _, name := range []string{"table1", "area"} {
+		if err := runExperiment(name, sc); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if err := runExperiment("nope", sc); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

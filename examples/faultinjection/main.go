@@ -1,0 +1,54 @@
+// Fault injection: inject single-bit stuck-at hard faults (the
+// section VII-B methodology) into a checker core's functional units and
+// watch ParaVerser's induction check catch them — or correctly stay
+// silent when the fault never changes an architectural value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paraverser"
+)
+
+func main() {
+	const bench = "deepsjeng"
+	const horizon = 300_000
+	const trials = 12
+
+	faults := paraverser.FaultCampaign(2025, trials, paraverser.X2())
+
+	fmt.Printf("injecting %d random hard faults into checker 0 while running %s\n", trials, bench)
+	fmt.Printf("%-36s %-10s %s\n", "fault", "outcome", "detection latency (insts)")
+
+	detected, silent := 0, 0
+	for _, f := range faults {
+		cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 2))
+		if err := paraverser.InjectOnChecker(&cfg, f, 0); err != nil {
+			log.Fatal(err)
+		}
+		w, err := paraverser.SPECWorkload(bench, horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := paraverser.Run(cfg, []paraverser.Workload{w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lane := res.Lanes[0]
+		if lane.Detections > 0 {
+			detected++
+			fmt.Printf("%-36s %-10s %d\n", f, "DETECTED", lane.FirstDetectionInst)
+		} else {
+			silent++
+			fmt.Printf("%-36s %-10s -\n", f, "silent")
+		}
+	}
+	fmt.Printf("\n%d/%d detected; silent faults were masked (never changed execution)\n",
+		detected, trials)
+	fmt.Println("paper: 76% of injections detected under full coverage; the rest correctly masked")
+	if detected == 0 {
+		fmt.Println("warning: no fault detected — rerun with a larger horizon")
+	}
+	_ = silent
+}

@@ -1,0 +1,48 @@
+// Graph analytics under checking: run the GAP kernels (real BFS,
+// PageRank, SSSP, CC, TC and BC implementations over a Kronecker graph in
+// simulated memory) with a varying number of little checker cores. The
+// suite is memory-bound, so checkers fed from the load-store log keep up
+// easily — the fig. 9 effect.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paraverser"
+)
+
+func main() {
+	const scale, edgeFactor = 10, 8
+	const insts = 250_000
+
+	fmt.Printf("GAP kernels on a 2^%d-vertex Kronecker graph, full-coverage mode\n\n", scale)
+	fmt.Printf("%-10s %12s %14s %14s %14s\n", "kernel", "baseline us", "1 checker", "2 checkers", "4 checkers")
+
+	for _, kernel := range paraverser.GAPKernels() {
+		w, err := paraverser.GAPWorkload(kernel, scale, edgeFactor, insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := paraverser.Run(paraverser.BaselineConfig(), []paraverser.Workload{w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseNS := base.TimeNS()
+
+		row := fmt.Sprintf("%-10s %12.1f", kernel, baseNS/1e3)
+		for _, n := range []int{1, 2, 4} {
+			cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, n))
+			res, err := paraverser.Run(cfg, []paraverser.Workload{w})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Detections() != 0 {
+				log.Fatalf("%s: unexpected detections on fault-free run", kernel)
+			}
+			row += fmt.Sprintf(" %+13.2f%%", (res.TimeNS()/baseNS-1)*100)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\npaper: GAP is so memory-bound that 2 A510s suffice for all kernels except PageRank")
+}

@@ -1,0 +1,52 @@
+// Quickstart: run one benchmark on a big main core with four little
+// checker cores in full-coverage mode, and compare against the
+// no-checking baseline — the minimal ParaVerser session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paraverser"
+)
+
+func main() {
+	const bench = "imagick"
+	const insts = 150_000
+
+	// A no-checking baseline first.
+	baseline := paraverser.BaselineConfig()
+	w, err := paraverser.SPECWorkload(bench, insts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := paraverser.Run(baseline, []paraverser.Workload{w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Now with four A510-class checker cores at 2GHz per main core.
+	cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 4))
+	res, err := paraverser.Run(cfg, []paraverser.Workload{w})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lane := res.Lanes[0]
+	fmt.Printf("benchmark:        %s (%d instructions)\n", bench, lane.Insts)
+	fmt.Printf("baseline time:    %.1f us\n", base.Lanes[0].TimeNS/1e3)
+	fmt.Printf("checked time:     %.1f us\n", lane.TimeNS/1e3)
+	fmt.Printf("slowdown:         %.2f%%\n", (lane.TimeNS/base.Lanes[0].TimeNS-1)*100)
+	fmt.Printf("coverage:         %.1f%% of instructions verified\n", lane.Coverage()*100)
+	fmt.Printf("segments checked: %d (boundaries: LSL$ full / 5000-inst timeout)\n", lane.Segments)
+	fmt.Printf("log traffic:      %.2f B/inst over the NoC\n", float64(lane.LogBytes)/float64(lane.Insts))
+	fmt.Printf("detections:       %d (expected 0 on fault-free hardware)\n", lane.Detections)
+
+	energy, err := paraverser.Energy(cfg, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy overhead:  %.1f%% vs power-gated checkers (paper: ~49%% for this config)\n",
+		energy.Overhead*100)
+	fmt.Printf("storage overhead: %dB per core (paper: 1064B)\n", paraverser.StorageOverheadBytes(cfg))
+}

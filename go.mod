@@ -1,0 +1,3 @@
+module paraverser
+
+go 1.22

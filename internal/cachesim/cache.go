@@ -1,0 +1,230 @@
+// Package cachesim implements the cache hierarchy used by the core timing
+// models: set-associative write-back caches with LRU replacement and
+// per-level statistics, plus the Load-Store-Log repurposing of a data
+// cache (the LSL$ of section IV-B: cache lines progressively replaced by
+// log entries, a log-end register, and eviction of resident data).
+package cachesim
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	// HitCycles is the hit latency in cycles of the owning clock domain.
+	HitCycles int
+	// MSHRs bounds the number of outstanding misses (used by the CPU
+	// timing model to limit memory-level parallelism).
+	MSHRs int
+}
+
+// Lines returns the total number of cache lines.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Ways }
+
+// Validate checks the configuration is coherent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: sets %d not a power of two", c.Name, s)
+	}
+	return nil
+}
+
+// Stats counts accesses per cache.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+	// LogEvictions counts resident lines evicted to make room for
+	// load-store-log entries (LSL$ repurposing).
+	LogEvictions uint64
+}
+
+// MissRate returns misses/accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint32
+	// log marks the line as holding load-store-log entries rather than a
+	// cached copy of memory (the extra tag bit of fig. 3).
+	log bool
+}
+
+// Cache is one set-associative cache. The zero value is not usable; use
+// New.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	lruClock uint32
+	Stats    Stats
+
+	// logEnd is the Load-Store Log End register: the number of lines
+	// currently holding log entries, filled linearly from line 0
+	// (set-major order).
+	logEnd int
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]way, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setIndex(addr uint64) uint64 {
+	return (addr / uint64(c.cfg.LineBytes)) & uint64(c.cfg.Sets()-1)
+}
+
+func (c *Cache) tagOf(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineBytes) / uint64(c.cfg.Sets())
+}
+
+// Access looks up addr, allocating on miss (write-allocate). It returns
+// true on hit. Dirty evictions count as writebacks.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.Stats.Accesses++
+	c.lruClock++
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		w := &set[i]
+		if w.valid && !w.log && w.tag == tag {
+			w.lru = c.lruClock
+			if write {
+				w.dirty = true
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.fill(set, tag, write)
+	return false
+}
+
+// Probe looks up addr without side effects.
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[c.setIndex(addr)]
+	tag := c.tagOf(addr)
+	for i := range set {
+		if set[i].valid && !set[i].log && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) fill(set []way, tag uint64, write bool) {
+	victim := -1
+	var oldest uint32 = ^uint32(0)
+	for i := range set {
+		w := &set[i]
+		if w.log {
+			continue // log lines are not eligible replacement victims
+		}
+		if !w.valid {
+			victim = i
+			break
+		}
+		if w.lru <= oldest {
+			oldest = w.lru
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Every way holds log entries; the access bypasses the cache.
+		return
+	}
+	w := &set[victim]
+	if w.valid && w.dirty {
+		c.Stats.Writebacks++
+	}
+	*w = way{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+}
+
+// InvalidateAll drops every non-log line (e.g. when a core is handed to a
+// different process).
+func (c *Cache) InvalidateAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			if !set[i].log {
+				set[i] = way{}
+			}
+		}
+	}
+}
+
+// --- Load-Store Log repurposing (fig. 3) ---
+
+// LogCapacityLines returns how many lines the cache can devote to the
+// load-store log (all of them).
+func (c *Cache) LogCapacityLines() int { return c.cfg.Lines() }
+
+// LogLines returns the current value of the Load-Store Log End register.
+func (c *Cache) LogLines() int { return c.logEnd }
+
+// LogAppendLine claims the next line for log entries, evicting any
+// resident data in place (fig. 3: filling starts at index 0 and proceeds
+// linearly). It returns false when the log is full.
+func (c *Cache) LogAppendLine() bool {
+	if c.logEnd >= c.cfg.Lines() {
+		return false
+	}
+	set := c.sets[c.logEnd%c.cfg.Sets()]
+	w := &set[c.logEnd/c.cfg.Sets()]
+	if w.valid && !w.log {
+		c.Stats.LogEvictions++
+		if w.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	*w = way{valid: true, log: true, lru: c.lruClock}
+	c.logEnd++
+	return true
+}
+
+// LogReset releases all log lines (checkpoint finished); the lines become
+// invalid, so the cache refills from scratch when the core resumes
+// main-mode work.
+func (c *Cache) LogReset() {
+	for i := 0; i < c.logEnd; i++ {
+		set := c.sets[i%c.cfg.Sets()]
+		set[i/c.cfg.Sets()] = way{}
+	}
+	c.logEnd = 0
+}

@@ -1,0 +1,276 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{Name: "t", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitCycles: 2, MSHRs: 4}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := testConfig()
+	if cfg.Lines() != 64 {
+		t.Errorf("lines = %d, want 64", cfg.Lines())
+	}
+	if cfg.Sets() != 16 {
+		t.Errorf("sets = %d, want 16", cfg.Sets())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "odd", SizeBytes: 3000, Ways: 4, LineBytes: 64},
+		{Name: "nonpow2", SizeBytes: 12 * 64 * 4, Ways: 4, LineBytes: 64}, // 12 sets
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q: want validation error", cfg.Name)
+		}
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(testConfig())
+	if c.Access(0x1000, false) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, false) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(0x1030, false) {
+		t.Error("same-line access missed")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Misses != 1 {
+		t.Errorf("stats %+v", c.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := MustNew(testConfig()) // 16 sets, 4 ways
+	setStride := uint64(64 * 16)
+	// Fill one set with 4 distinct tags, touch the first again, then
+	// bring a fifth: the victim must be the second (least recent).
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*setStride, false)
+	}
+	c.Access(0, false) // refresh tag 0
+	c.Access(4*setStride, false)
+	if !c.Access(0, false) {
+		t.Error("most-recent line evicted")
+	}
+	if c.Access(1*setStride, false) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWritebackCounting(t *testing.T) {
+	c := MustNew(testConfig())
+	setStride := uint64(64 * 16)
+	c.Access(0, true) // dirty
+	for i := uint64(1); i <= 4; i++ {
+		c.Access(i*setStride, false) // evicts the dirty line eventually
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestProbeNoSideEffects(t *testing.T) {
+	c := MustNew(testConfig())
+	if c.Probe(0x2000) {
+		t.Error("probe hit cold cache")
+	}
+	if c.Stats.Accesses != 0 {
+		t.Error("probe counted as access")
+	}
+	c.Access(0x2000, false)
+	if !c.Probe(0x2000) {
+		t.Error("probe missed warm line")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// Property: a working set no larger than the cache, accessed twice,
+	// misses only on the first pass.
+	f := func(seed uint8) bool {
+		c := MustNew(testConfig())
+		lines := c.Config().Lines()
+		base := uint64(seed) * 4096
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < lines; i++ {
+				c.Access(base+uint64(i*64), false)
+			}
+		}
+		return c.Stats.Misses == uint64(lines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSLLogFillAndReset(t *testing.T) {
+	c := MustNew(testConfig())
+	// Warm a line that the log will displace.
+	c.Access(0, true)
+	if c.LogLines() != 0 {
+		t.Error("fresh cache has log lines")
+	}
+	n := 0
+	for c.LogAppendLine() {
+		n++
+	}
+	if n != c.LogCapacityLines() {
+		t.Errorf("log capacity %d, want %d", n, c.LogCapacityLines())
+	}
+	if c.LogAppendLine() {
+		t.Error("append succeeded past capacity")
+	}
+	if c.Stats.LogEvictions != 1 {
+		t.Errorf("log evictions = %d, want 1 (only line 0 was resident)", c.Stats.LogEvictions)
+	}
+	// The displaced line was dirty: must have written back.
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+	// Resident data displaced by the log must miss on re-access.
+	if c.Access(0, false) {
+		t.Error("logged-over line still hits")
+	}
+	c.LogReset()
+	if c.LogLines() != 0 {
+		t.Error("log end register not reset")
+	}
+	if !c.LogAppendLine() {
+		t.Error("append after reset failed")
+	}
+}
+
+func TestLogLinesNotVictims(t *testing.T) {
+	c := MustNew(testConfig())
+	// Devote every line to the log, then stream data through: accesses
+	// must all miss and never disturb the log-end register.
+	for c.LogAppendLine() {
+	}
+	for i := uint64(0); i < 256; i++ {
+		if c.Access(i*64, false) {
+			t.Fatal("hit in a fully-logged cache")
+		}
+	}
+	if c.LogLines() != c.LogCapacityLines() {
+		t.Error("demand traffic disturbed log lines")
+	}
+}
+
+func TestInvalidateAllPreservesLog(t *testing.T) {
+	c := MustNew(testConfig())
+	c.Access(0x40, false)
+	c.LogAppendLine()
+	c.InvalidateAll()
+	if c.Access(0x40, false) {
+		t.Error("invalidate left data resident")
+	}
+	if c.LogLines() != 1 {
+		t.Error("invalidate dropped log lines")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := &Hierarchy{
+		L1I: MustNew(Config{Name: "i", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 1, MSHRs: 2}),
+		L1D: MustNew(Config{Name: "d", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 2, MSHRs: 2}),
+		L2:  MustNew(Config{Name: "2", SizeBytes: 8 << 10, Ways: 4, LineBytes: 64, HitCycles: 9, MSHRs: 4}),
+	}
+	r := h.Data(0x5000, false)
+	if r.Level != 3 || r.BeyondNS != DefaultBeyondNS {
+		t.Errorf("cold access: %+v", r)
+	}
+	r = h.Data(0x5000, false)
+	if r.Level != 1 || r.Cycles != 2 || r.BeyondNS != 0 {
+		t.Errorf("L1 hit: %+v", r)
+	}
+	// Evict from tiny L1 but keep in L2: stream 1KiB+ of other lines.
+	for i := uint64(0); i < 32; i++ {
+		h.Data(0x9000+i*64, false)
+	}
+	r = h.Data(0x5000, false)
+	if r.Level != 2 || r.Cycles != 2+9 {
+		t.Errorf("L2 hit: %+v", r)
+	}
+
+	called := false
+	h.Beyond = func(addr uint64, write, fetch bool) float64 {
+		called = true
+		if fetch {
+			t.Error("data access flagged as fetch")
+		}
+		return 42
+	}
+	r = h.Data(0xF0000, false)
+	if !called || r.BeyondNS != 42 {
+		t.Errorf("beyond hook not used: %+v", r)
+	}
+
+	fr := h.Fetch(0x5000)
+	if fr.Level != 1 && fr.Level != 2 && fr.Level != 3 {
+		t.Errorf("fetch result: %+v", fr)
+	}
+}
+
+func TestAccessResultTotalCycles(t *testing.T) {
+	r := AccessResult{Cycles: 10, BeyondNS: 20}
+	if got := r.TotalCycles(2.0); got != 50 {
+		t.Errorf("TotalCycles = %v, want 50", got)
+	}
+}
+
+func TestFetchPathSeparateFromData(t *testing.T) {
+	h := &Hierarchy{
+		L1I: MustNew(Config{Name: "i", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 1, MSHRs: 2}),
+		L1D: MustNew(Config{Name: "d", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 2, MSHRs: 2}),
+		L2:  MustNew(Config{Name: "2", SizeBytes: 8 << 10, Ways: 4, LineBytes: 64, HitCycles: 9, MSHRs: 4}),
+	}
+	h.Fetch(0x4000)
+	if h.L1D.Stats.Accesses != 0 {
+		t.Error("fetch touched the data cache")
+	}
+	h.Data(0x4000, false)
+	// Same line: the L2 was filled by the fetch, so the data access hits L2.
+	if got := h.Data(0x8000, false); got.Level != 3 {
+		t.Errorf("distinct line should go beyond: %+v", got)
+	}
+}
+
+func TestHierarchyInvalidateAll(t *testing.T) {
+	h := &Hierarchy{
+		L1I: MustNew(Config{Name: "i", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 1, MSHRs: 2}),
+		L1D: MustNew(Config{Name: "d", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitCycles: 2, MSHRs: 2}),
+		L2:  MustNew(Config{Name: "2", SizeBytes: 8 << 10, Ways: 4, LineBytes: 64, HitCycles: 9, MSHRs: 4}),
+	}
+	h.Data(0x40, false)
+	h.Fetch(0x80)
+	h.InvalidateAll()
+	if h.L1D.Probe(0x40) || h.L1I.Probe(0x80) || h.L2.Probe(0x40) {
+		t.Error("InvalidateAll left lines resident")
+	}
+}
+
+func TestLogAppendFillsSetMajor(t *testing.T) {
+	// Fig. 3: the log fills linearly from index 0. Appending Sets() lines
+	// must claim way 0 of every set before touching way 1.
+	c := MustNew(testConfig())
+	sets := c.Config().Sets()
+	warm := uint64(0)
+	c.Access(warm, false) // way 0 of set 0 resident
+	for i := 0; i < sets; i++ {
+		c.LogAppendLine()
+	}
+	if c.Stats.LogEvictions != 1 {
+		t.Errorf("log evictions %d, want 1 (only set 0 way 0 was resident)", c.Stats.LogEvictions)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"paraverser/internal/cpu"
+	"paraverser/internal/noc"
+)
+
+// Checker is one core currently serving checker duty for a main core: its
+// persistent timing model (caches and predictor state carry across
+// segments), its DVFS point, its mesh position, and its availability.
+type Checker struct {
+	ID      int
+	Core    *cpu.Core
+	FreqGHz float64
+	Pos     noc.Coord
+
+	// FreeAtNS is when the checker finishes its current segment.
+	FreeAtNS float64
+	// BusyNS, Insts and Segments accumulate for energy accounting.
+	BusyNS   float64
+	Insts    uint64
+	Segments int
+
+	// sizeRank orders allocation preference: smaller, lower-frequency
+	// cores first (section IV-A: "Preference for allocation as checker
+	// cores is given to idle cores, and lower-performance cores if
+	// available").
+	sizeRank float64
+}
+
+// Allocator manages one main core's checker pool.
+type Allocator struct {
+	checkers []*Checker
+}
+
+// NewAllocator builds a pool.
+func NewAllocator(checkers []*Checker) (*Allocator, error) {
+	if len(checkers) == 0 {
+		return nil, fmt.Errorf("core: allocator needs at least one checker")
+	}
+	for _, c := range checkers {
+		cfg := c.Core.Config()
+		c.sizeRank = float64(cfg.IssueWidth) * c.FreqGHz
+		if cfg.OoO {
+			c.sizeRank *= 2
+		}
+	}
+	return &Allocator{checkers: checkers}, nil
+}
+
+// AcquireFree returns an idle checker at nowNS, preferring
+// lower-performance cores, or nil when every checker is busy.
+func (a *Allocator) AcquireFree(nowNS float64) *Checker {
+	var best *Checker
+	for _, c := range a.checkers {
+		if c.FreeAtNS > nowNS {
+			continue
+		}
+		if best == nil || c.sizeRank < best.sizeRank ||
+			(c.sizeRank == best.sizeRank && c.FreeAtNS < best.FreeAtNS) {
+			best = c
+		}
+	}
+	return best
+}
+
+// EarliestFree returns the checker that frees up first (used by
+// full-coverage mode to decide how long the main core must stall).
+func (a *Allocator) EarliestFree() *Checker {
+	best := a.checkers[0]
+	for _, c := range a.checkers[1:] {
+		if c.FreeAtNS < best.FreeAtNS {
+			best = c
+		}
+	}
+	return best
+}
+
+// Checkers exposes the pool for result collection.
+func (a *Allocator) Checkers() []*Checker { return a.checkers }

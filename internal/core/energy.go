@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"paraverser/internal/power"
+)
+
+// EnergyReport is the section VII-E accounting for one run: the checking
+// energy added on top of a baseline in which all checker cores are power
+// gated.
+type EnergyReport struct {
+	MainJ    float64
+	CheckerJ float64
+	// Overhead is CheckerJ / MainJ, the paper's "energy overhead"
+	// metric (95% homogeneous lockstep-equivalent, 49% for 4xA510@2GHz,
+	// 29% at the ED²P point, and so on).
+	Overhead float64
+}
+
+// Energy computes the report for a finished run.
+func Energy(cfg Config, res *Result) (EnergyReport, error) {
+	var rep EnergyReport
+	for i := range res.Lanes {
+		lane := &res.Lanes[i]
+		mainModel, err := power.ModelFor(lane.CoreName)
+		if err != nil {
+			return rep, err
+		}
+		rep.MainJ += mainModel.TotalJ(lane.Insts, lane.TimeNS*1e-9, lane.FreqGHz)
+		for _, ck := range res.CheckersByLane[i] {
+			m, err := power.ModelFor(ck.CoreName)
+			if err != nil {
+				return rep, err
+			}
+			rep.CheckerJ += m.TotalJ(ck.Insts, ck.BusyNS*1e-9, ck.FreqGHz)
+		}
+	}
+	if rep.MainJ <= 0 {
+		return rep, fmt.Errorf("core: energy: no main-core work recorded")
+	}
+	rep.Overhead = rep.CheckerJ / rep.MainJ
+	return rep, nil
+}
+
+// StorageOverheadBytes returns the per-core SRAM/flop addition of the
+// ParaVerser units for the given core model (the paper's 1064B for the
+// X2, section VII-E).
+func StorageOverheadBytes(cfg Config) int {
+	s := power.NewStorageOverhead(cfg.Main.LQ, cfg.Main.SQ, cfg.Main.L1D.Lines())
+	return s.TotalBytes()
+}

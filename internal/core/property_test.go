@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"paraverser/internal/asm"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// randomProgram generates a random but structurally valid program mixing
+// every logged instruction class, for property-testing the capture/replay
+// pipeline end to end.
+func randomProgram(seed int64, ops int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := asm.New("fuzz")
+	const ws = 1 << 12
+	data := b.Reserve(ws)
+	for i := 0; i < ws; i += 8 {
+		b.SetWord64(data+uint64(i), rng.Uint64())
+	}
+	const rBase, rMask, rT, rT2 = isa.Reg(5), isa.Reg(6), isa.Reg(7), isa.Reg(8)
+	b.Li(rBase, int64(isa.DefaultDataBase))
+	b.Li(rMask, ws-8)
+	for i := isa.Reg(1); i <= 6; i++ {
+		b.Li(rT, int64(rng.Intn(50)+1))
+		b.Fcvtif(i, rT)
+	}
+	intReg := func() isa.Reg { return isa.Reg(10 + rng.Intn(8)) }
+	fpReg := func() isa.Reg { return isa.Reg(1 + rng.Intn(6)) }
+	addr := func() {
+		b.Andi(rT, intReg(), ws-8)
+		b.Add(rT, rT, rBase)
+	}
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			b.Add(intReg(), intReg(), intReg())
+		case 1:
+			b.Mul(intReg(), intReg(), intReg())
+		case 2:
+			b.Fadd(fpReg(), fpReg(), fpReg())
+		case 3:
+			b.Fmul(fpReg(), fpReg(), fpReg())
+		case 4:
+			addr()
+			b.Ld(8, intReg(), rT, 0)
+		case 5:
+			addr()
+			b.St([]uint8{1, 2, 4, 8}[rng.Intn(4)], intReg(), rT, 0)
+		case 6:
+			addr()
+			b.Swp(intReg(), rT, intReg())
+		case 7:
+			addr()
+			b.Mov(rT2, rT)
+			b.Andi(rT, intReg(), ws-8)
+			b.Add(rT, rT, rBase)
+			b.Gld(8, intReg(), rT2, rT, 0)
+		case 8:
+			b.Rand(intReg())
+		case 9:
+			b.Cycle(intReg())
+		case 10:
+			addr()
+			b.Fld(fpReg(), rT, 0)
+		case 11:
+			addr()
+			b.Fst(fpReg(), rT, 0)
+		}
+	}
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestPropertyCleanReplayAlwaysPasses is the core soundness property: for
+// any program, capturing segments on a fault-free main run and replaying
+// them through the checker must never raise a detection (no false
+// positives), in both normal and Hash Mode.
+func TestPropertyCleanReplayAlwaysPasses(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		prog := randomProgram(seed, 150)
+		for _, hash := range []bool{false, true} {
+			segs := captureSegments(t, prog, 40, hash)
+			for _, seg := range segs {
+				res := CheckSegment(prog, seg, hash, nil, nil)
+				if res.Detected() {
+					t.Fatalf("seed %d hash=%v: false positive: %v", seed, hash, res.Mismatches)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyCorruptionAlwaysDetected: flipping any single bit of any
+// logged payload, or any end-checkpoint register the segment wrote, must
+// be detected (no false negatives on log corruption).
+func TestPropertyCorruptionAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(1); seed <= 15; seed++ {
+		prog := randomProgram(seed+100, 120)
+		segs := captureSegments(t, prog, 50, false)
+		seg := segs[rng.Intn(len(segs))]
+		if len(seg.Entries) == 0 {
+			continue
+		}
+		e := rng.Intn(len(seg.Entries))
+		if seg.Entries[e].Kind == EntryNonRepeat {
+			// Non-repeatable entries carry replay payload only: no
+			// address or store data is verified against them, so flips
+			// there are load-payload-like (maskable) and out of scope.
+			continue
+		}
+		op := rng.Intn(len(seg.Entries[e].Ops))
+		bit := uint(rng.Intn(64))
+		rec := &seg.Entries[e].Ops[op]
+		switch rng.Intn(3) {
+		case 0:
+			// Store data is compared verbatim by the LSC: any in-width
+			// flip must be detected. (Load payloads can be masked
+			// architecturally, so they are not a strict property.)
+			if rec.Load {
+				rec.Addr ^= 1 << (bit % 20)
+			} else {
+				rec.Data ^= 1 << (bit % (8 * uint(rec.Size)))
+			}
+		case 1:
+			rec.Addr ^= 1 << (bit % 20)
+		case 2:
+			seg.End.X[1+rng.Intn(30)] ^= 1 << bit
+		}
+		res := CheckSegment(prog, seg, false, nil, nil)
+		if res.OK {
+			t.Fatalf("seed %d: corruption survived: entry %d op %d (%+v)", seed, e, op, *rec)
+		}
+	}
+}
+
+// TestPropertyReplayDeterministic: checking the same segment twice gives
+// identical outcomes (no hidden state).
+func TestPropertyReplayDeterministic(t *testing.T) {
+	prog := randomProgram(7, 200)
+	segs := captureSegments(t, prog, 64, true)
+	for _, seg := range segs {
+		a := CheckSegment(prog, seg, true, nil, nil)
+		b := CheckSegment(prog, seg, true, nil, nil)
+		if a.OK != b.OK || a.Insts != b.Insts {
+			t.Fatal("replay nondeterministic")
+		}
+	}
+}
+
+// TestPropertySegmentInstCountsSumToRun: segments partition the run.
+func TestPropertySegmentInstCountsSumToRun(t *testing.T) {
+	prog := randomProgram(11, 300)
+	total, err := emu.RunProgram(prog, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := captureSegments(t, prog, 77, false)
+	var sum uint64
+	for _, s := range segs {
+		sum += s.Insts
+	}
+	if sum != uint64(total) {
+		t.Errorf("segments sum to %d insts, run executed %d", sum, total)
+	}
+}

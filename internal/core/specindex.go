@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// SpecIndexUnit models the indexed-access scheme that lets out-of-order
+// and speculative checker cores use the in-order load-store log
+// (section IV-G, fig. 4):
+//
+//   - at decode, each load/store is assigned the current speculative
+//     front-end index, which then advances by the instruction's expected
+//     LSL$ payload width, so the index points at the right entry in
+//     program order even when the backend reorders accesses;
+//   - a mismatching LSL$ access does not fault immediately: it sets a
+//     precise-exception (PE) bit in the reorder buffer and only raises at
+//     commit, because the access may be a misspeculation;
+//   - when instructions squash, their widths are deducted from the
+//     front-end index so the correct-path instructions reuse the same
+//     entries;
+//   - micro-ops of one macro-op share an index;
+//   - the index resets to zero at each new segment.
+//
+// In Hash Mode the index only advances for instructions that carry replay
+// data (loads and non-repeatables), since stores ship nothing.
+type SpecIndexUnit struct {
+	frontIdx int
+	rob      []specInst
+}
+
+type specInst struct {
+	index int
+	width int
+	pe    bool
+	mem   bool
+}
+
+// Decode records one decoded instruction. width is its expected LSL$
+// payload width in index units (0 for non-memory instructions). It
+// returns the ROB position for later Access/Squash/Commit calls.
+func (u *SpecIndexUnit) Decode(width int) int {
+	pos := len(u.rob)
+	u.rob = append(u.rob, specInst{index: u.frontIdx, width: width, mem: width > 0})
+	u.frontIdx += width
+	return pos
+}
+
+// IndexOf returns the LSL$ index assigned to the instruction at robPos.
+func (u *SpecIndexUnit) IndexOf(robPos int) (int, error) {
+	if robPos < 0 || robPos >= len(u.rob) {
+		return 0, fmt.Errorf("core: specindex: rob position %d out of range", robPos)
+	}
+	return u.rob[robPos].index, nil
+}
+
+// Access models an out-of-order LSL$ access by the instruction at robPos:
+// matched=false sets the PE bit (error recorded but not raised,
+// section IV-G).
+func (u *SpecIndexUnit) Access(robPos int, matched bool) error {
+	if robPos < 0 || robPos >= len(u.rob) {
+		return fmt.Errorf("core: specindex: rob position %d out of range", robPos)
+	}
+	if !matched {
+		u.rob[robPos].pe = true
+	}
+	return nil
+}
+
+// Squash removes every instruction at robPos and younger (a branch
+// misprediction recovery), deducting their widths from the front-end
+// index so correct-path instructions are assigned the same entries.
+func (u *SpecIndexUnit) Squash(fromPos int) error {
+	if fromPos < 0 || fromPos > len(u.rob) {
+		return fmt.Errorf("core: specindex: squash position %d out of range", fromPos)
+	}
+	if fromPos == len(u.rob) {
+		return nil
+	}
+	u.frontIdx = u.rob[fromPos].index
+	u.rob = u.rob[:fromPos]
+	return nil
+}
+
+// Commit retires the oldest instruction, reporting whether its PE bit
+// raises an error (the instruction became non-speculative with a
+// mismatched access, so a real divergence is reported).
+func (u *SpecIndexUnit) Commit() (raised bool, err error) {
+	if len(u.rob) == 0 {
+		return false, fmt.Errorf("core: specindex: commit on empty rob")
+	}
+	raised = u.rob[0].pe
+	u.rob = u.rob[1:]
+	return raised, nil
+}
+
+// InFlight returns the number of decoded, uncommitted instructions.
+func (u *SpecIndexUnit) InFlight() int { return len(u.rob) }
+
+// FrontIndex returns the current speculative front-end index.
+func (u *SpecIndexUnit) FrontIndex() int { return u.frontIdx }
+
+// Reset clears the unit at a segment boundary (the index restarts at 0
+// for each new LSL$ segment).
+func (u *SpecIndexUnit) Reset() {
+	u.frontIdx = 0
+	u.rob = u.rob[:0]
+}
+
+// EntryIndexUnits returns the index-width of one entry in bytes/8 units,
+// matching the LSL$ layout (each 8-byte slot is one unit).
+func EntryIndexUnits(e Entry, hashMode bool) int {
+	return e.SizeBytes(hashMode) / 8
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSpecIndexAgainstRealSegments drives the speculative-index unit with
+// randomised out-of-order schedules over real captured segments: decode
+// every instruction (with occasional wrong-path bursts that then squash),
+// access the LSL$ out of order, and verify that after all squashes the
+// committed instructions were assigned exactly the in-order entry indices
+// — the invariant that lets out-of-order checker cores use an in-order
+// log (section IV-G).
+func TestSpecIndexAgainstRealSegments(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 80, false)
+	rng := rand.New(rand.NewSource(5))
+
+	for _, seg := range segs {
+		// The in-order ground truth: entry index per logged instruction.
+		wantIdx := make([]int, 0, len(seg.Entries))
+		next := 0
+		for _, e := range seg.Entries {
+			wantIdx = append(wantIdx, next)
+			next += EntryIndexUnits(e, false)
+		}
+
+		u := &SpecIndexUnit{}
+		committed := 0
+		entryPos := 0 // next logged instruction to decode
+		type inflight struct {
+			rob    int
+			want   int
+			hasLog bool
+		}
+		var window []inflight
+
+		for committed < len(seg.Entries) {
+			switch rng.Intn(4) {
+			case 0, 1: // decode the next correct-path logged instruction
+				if entryPos < len(seg.Entries) {
+					width := EntryIndexUnits(seg.Entries[entryPos], false)
+					rob := u.Decode(width)
+					window = append(window, inflight{rob: rob, want: wantIdx[entryPos], hasLog: true})
+					entryPos++
+				}
+			case 2: // wrong-path burst: decode garbage, then squash it all
+				mark := u.InFlight()
+				n := rng.Intn(4) + 1
+				for i := 0; i < n; i++ {
+					u.Decode(rng.Intn(3) + 1)
+				}
+				if err := u.Squash(mark); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // commit the oldest in-flight instruction
+				if len(window) == 0 {
+					continue
+				}
+				inf := window[0]
+				window = window[1:]
+				got, err := u.IndexOf(inf.rob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != inf.want {
+					t.Fatalf("seg %d: committed inst got index %d, want %d", seg.Seq, got, inf.want)
+				}
+				// Out-of-order access before commit: matched.
+				if err := u.Access(inf.rob, true); err != nil {
+					t.Fatal(err)
+				}
+				raised, err := u.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if raised {
+					t.Fatal("matched access raised a precise exception")
+				}
+				// Shift stored rob positions: commit pops the oldest, so
+				// every remaining position moves down by one.
+				for i := range window {
+					window[i].rob--
+				}
+				committed++
+			}
+		}
+		if u.FrontIndex() != next {
+			t.Errorf("seg %d: final front index %d, want %d", seg.Seq, u.FrontIndex(), next)
+		}
+		u.Reset()
+	}
+}

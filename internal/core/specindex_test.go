@@ -1,0 +1,147 @@
+package core
+
+import "testing"
+
+// TestFig4Scenario replays the paper's fig. 4 example: three instructions
+// assigned indices 0, 2, 4 at decode; the backend reorders I3 before I2;
+// I3's access mismatches, setting its PE bit; the outcome depends on
+// whether I3 commits (error raised) or squashes (index reused by the
+// correct path, no error).
+func TestFig4Scenario(t *testing.T) {
+	t.Run("commit raises", func(t *testing.T) {
+		u := &SpecIndexUnit{}
+		i1 := u.Decode(2) // load x  -> index 0
+		i2 := u.Decode(2) // store x -> index 2
+		i3 := u.Decode(2) // load y  -> index 4
+		for want, pos := range []int{i1, i2, i3} {
+			idx, err := u.IndexOf(pos)
+			if err != nil || idx != want*2 {
+				t.Fatalf("index of inst %d = %d, %v; want %d", pos, idx, err, want*2)
+			}
+		}
+		// Out-of-order: I3 accesses before I2; the entry is a load to z,
+		// not y -> mismatch recorded, not raised.
+		if err := u.Access(i3, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Access(i2, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Access(i1, true); err != nil {
+			t.Fatal(err)
+		}
+		for i, wantPE := range []bool{false, false, true} {
+			raised, err := u.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if raised != wantPE {
+				t.Errorf("commit %d raised=%v, want %v", i, raised, wantPE)
+			}
+		}
+	})
+
+	t.Run("squash reuses index", func(t *testing.T) {
+		u := &SpecIndexUnit{}
+		u.Decode(2)       // I1
+		u.Decode(2)       // I2
+		i3 := u.Decode(2) // I3 at index 4
+		u.Access(i3, false)
+		// I3 was a misspeculation: squash it; the front index returns to
+		// 4 so the correct-path instruction accesses the same entry.
+		if err := u.Squash(i3); err != nil {
+			t.Fatal(err)
+		}
+		if u.FrontIndex() != 4 {
+			t.Errorf("front index %d after squash, want 4", u.FrontIndex())
+		}
+		i3b := u.Decode(2)
+		if idx, _ := u.IndexOf(i3b); idx != 4 {
+			t.Errorf("replayed instruction index %d, want 4", idx)
+		}
+		u.Access(i3b, true)
+		u.Commit()
+		u.Commit()
+		if raised, _ := u.Commit(); raised {
+			t.Error("squashed PE bit leaked into correct path")
+		}
+	})
+}
+
+func TestSpecIndexNonMemInstructions(t *testing.T) {
+	u := &SpecIndexUnit{}
+	u.Decode(2)
+	pos := u.Decode(0) // ALU op: no payload, index unchanged
+	after := u.Decode(2)
+	if idx, _ := u.IndexOf(pos); idx != 2 {
+		t.Errorf("ALU inst index %d, want 2 (unmoved)", idx)
+	}
+	if idx, _ := u.IndexOf(after); idx != 2 {
+		t.Errorf("next mem inst index %d, want 2", idx)
+	}
+}
+
+func TestSpecIndexSquashMultiple(t *testing.T) {
+	u := &SpecIndexUnit{}
+	u.Decode(1)
+	second := u.Decode(3)
+	u.Decode(2)
+	u.Decode(2)
+	if u.FrontIndex() != 8 {
+		t.Fatalf("front index %d, want 8", u.FrontIndex())
+	}
+	if err := u.Squash(second); err != nil {
+		t.Fatal(err)
+	}
+	if u.FrontIndex() != 1 || u.InFlight() != 1 {
+		t.Errorf("after squash: front %d inflight %d, want 1, 1", u.FrontIndex(), u.InFlight())
+	}
+}
+
+func TestSpecIndexResetPerSegment(t *testing.T) {
+	u := &SpecIndexUnit{}
+	u.Decode(5)
+	u.Reset()
+	if u.FrontIndex() != 0 || u.InFlight() != 0 {
+		t.Error("reset did not clear unit")
+	}
+	if pos := u.Decode(2); pos != 0 {
+		t.Error("rob not reset")
+	}
+}
+
+func TestSpecIndexErrors(t *testing.T) {
+	u := &SpecIndexUnit{}
+	if _, err := u.Commit(); err == nil {
+		t.Error("commit on empty rob must error")
+	}
+	if err := u.Access(3, true); err == nil {
+		t.Error("access out of range must error")
+	}
+	if _, err := u.IndexOf(-1); err == nil {
+		t.Error("IndexOf(-1) must error")
+	}
+	if err := u.Squash(7); err == nil {
+		t.Error("squash past end must error")
+	}
+	u.Decode(1)
+	if err := u.Squash(1); err != nil {
+		t.Errorf("no-op squash at end errored: %v", err)
+	}
+}
+
+func TestEntryIndexUnits(t *testing.T) {
+	load := Entry{Kind: EntryLoad, Ops: []MemRec{{Size: 8, Load: true}}}
+	if got := EntryIndexUnits(load, false); got != 2 {
+		t.Errorf("load units = %d, want 2 (16B/8)", got)
+	}
+	// Hash mode: 8B payload only -> 1 unit.
+	if got := EntryIndexUnits(load, true); got != 1 {
+		t.Errorf("hash-mode load units = %d, want 1", got)
+	}
+	store := Entry{Kind: EntryStore, Ops: []MemRec{{Size: 8}}}
+	// Hash mode: stores ship nothing, index does not advance.
+	if got := EntryIndexUnits(store, true); got != 0 {
+		t.Errorf("hash-mode store units = %d, want 0", got)
+	}
+}

@@ -1,0 +1,592 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"paraverser/internal/cachesim"
+	"paraverser/internal/cpu"
+	"paraverser/internal/dram"
+	"paraverser/internal/emu"
+	"paraverser/internal/noc"
+)
+
+// System couples main cores to checker cores over the mesh: it drives the
+// functional emulation segment by segment, feeds main- and checker-core
+// timing models, applies the full-coverage/opportunistic resource policy,
+// verifies every checked segment functionally, and models NoC contention
+// by back-propagating queueing delay into LLC access latency (section VI).
+type System struct {
+	cfg    Config
+	mesh   *noc.Mesh
+	layout *noc.Layout
+	l3     *cachesim.Cache
+	mem    *dram.Model
+	flows  *flowTracker
+
+	procs []*process
+	lanes []*lane
+
+	llcExtraSum float64
+	llcExtraN   uint64
+}
+
+type process struct {
+	w    Workload
+	mach *emu.Machine
+}
+
+type lane struct {
+	idx  int
+	name string
+	proc *process
+	hart int
+
+	main  *cpu.Core
+	alloc *Allocator
+	pos   noc.Coord
+
+	counter Counter
+	lspu    *LSPU
+	rcu     *RCU
+
+	// Segment under construction.
+	segStart   emu.ArchState
+	segSeq     int
+	entries    []Entry
+	segInsts   uint64
+	segBytes   int
+	segLines   int
+	segChecked bool
+	sinceIRQ   uint64
+
+	executed int64
+	res      LaneResult
+	done     bool
+
+	// warm snapshots statistics at the warmup boundary so finishLane can
+	// report the measured window only.
+	warmed bool
+	warm   warmSnapshot
+}
+
+// warmSnapshot captures counters at the end of the warmup phase.
+type warmSnapshot struct {
+	timeNS       float64
+	insts        int64
+	segments     int
+	checked      uint64
+	unchecked    uint64
+	stallNS      float64
+	checkpointNS float64
+	logBytes     uint64
+	logLines     uint64
+	ckBusyNS     []float64
+	ckInsts      []uint64
+	ckSegments   []int
+}
+
+// flowTracker accumulates steady-state traffic per mesh route and
+// refreshes the mesh's offered load from cumulative bytes over elapsed
+// time.
+type flowTracker struct {
+	bytes map[[2]noc.Coord]float64
+}
+
+func newFlowTracker() *flowTracker {
+	return &flowTracker{bytes: make(map[[2]noc.Coord]float64)}
+}
+
+func (f *flowTracker) add(from, to noc.Coord, bytes float64) {
+	f.bytes[[2]noc.Coord{from, to}] += bytes
+}
+
+func (f *flowTracker) refresh(mesh *noc.Mesh, elapsedNS float64) {
+	if elapsedNS < 1000 {
+		return // too early for a meaningful rate
+	}
+	mesh.ResetLoad()
+	for k, b := range f.bytes {
+		mesh.AddFlow(k[0], k[1], b/elapsedNS)
+	}
+}
+
+// NewSystem builds a system for the given workloads. Each hart of each
+// workload occupies one main core, placed per the layout.
+func NewSystem(cfg Config, workloads []Workload) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(workloads) == 0 {
+		return nil, fmt.Errorf("core: no workloads")
+	}
+	s := &System{
+		cfg:    cfg,
+		mesh:   noc.MustNew(cfg.NoC),
+		layout: cfg.Layout,
+		l3:     cachesim.MustNew(cfg.L3),
+		mem:    dram.New(cfg.DRAM),
+		flows:  newFlowTracker(),
+	}
+
+	laneIdx := 0
+	for _, w := range workloads {
+		mach, err := emu.NewMachine(w.Prog, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload %q: %w", w.Name, err)
+		}
+		p := &process{w: w, mach: mach}
+		s.procs = append(s.procs, p)
+		for hart := range mach.Harts {
+			l, err := s.newLane(laneIdx, p, hart)
+			if err != nil {
+				return nil, err
+			}
+			s.lanes = append(s.lanes, l)
+			laneIdx++
+		}
+	}
+	if len(s.lanes) > len(s.layout.MainPos) {
+		return nil, fmt.Errorf("core: %d lanes exceed %d main-core tiles", len(s.lanes), len(s.layout.MainPos))
+	}
+	return s, nil
+}
+
+func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
+	mainCfg, mainFreq := s.cfg.Main, s.cfg.MainFreqGHz
+	if idx < len(s.cfg.LaneMains) {
+		mainCfg, mainFreq = s.cfg.LaneMains[idx].CPU, s.cfg.LaneMains[idx].FreqGHz
+	}
+	mainCore, err := cpu.NewCore(mainCfg, mainFreq, cpu.ModeMain)
+	if err != nil {
+		return nil, err
+	}
+	l := &lane{
+		idx:  idx,
+		name: p.w.Name,
+		proc: p,
+		hart: hart,
+		main: mainCore,
+		pos:  s.layout.Main(idx % len(s.layout.MainPos)),
+		lspu: NewLSPU(s.cfg.HashMode),
+		rcu:  NewRCU(s.cfg.HashMode),
+	}
+	l.res = LaneResult{
+		Name: p.w.Name, Hart: hart, FirstDetectionInst: -1,
+		CoreName: mainCfg.Name, FreqGHz: mainFreq,
+	}
+	mainCore.Hier.Beyond = s.beyondFor(l.pos)
+
+	if len(s.cfg.Checkers) > 0 {
+		var checkers []*Checker
+		id := 0
+		for _, spec := range s.cfg.Checkers {
+			for i := 0; i < spec.Count; i++ {
+				ckCore, err := cpu.NewCore(spec.CPU, spec.FreqGHz, cpu.ModeChecker)
+				if err != nil {
+					return nil, err
+				}
+				pos := s.layout.Checker(idx%len(s.layout.MainPos), id)
+				ckCore.Hier.Beyond = s.beyondFor(pos)
+				checkers = append(checkers, &Checker{
+					ID: id, Core: ckCore, FreqGHz: spec.FreqGHz, Pos: pos,
+				})
+				id++
+			}
+		}
+		l.alloc, err = NewAllocator(checkers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// beyondFor wires a core position into the shared LLC + DRAM + mesh
+// model: request and response cross the mesh under current load; the L3
+// is physically sliced by line address.
+func (s *System) beyondFor(pos noc.Coord) func(addr uint64, write, fetch bool) float64 {
+	return func(addr uint64, write, fetch bool) float64 {
+		slice := s.layout.LLCPos[(addr/64)%uint64(len(s.layout.LLCPos))]
+		req := s.mesh.LatencyNS(pos, slice, 16)
+		resp := s.mesh.LatencyNS(slice, pos, LineBytes+8)
+		s.flows.add(pos, slice, 16)
+		s.flows.add(slice, pos, LineBytes+8)
+		extra := s.mesh.QueueingNS(pos, slice, 16) + s.mesh.QueueingNS(slice, pos, LineBytes+8)
+		s.llcExtraSum += extra
+		s.llcExtraN++
+		lat := req + resp + s.cfg.L3HitNS
+		if !s.l3.Access(addr, write) {
+			lat += s.mem.AccessNS(addr, 0)
+		}
+		return lat
+	}
+}
+
+// checking reports whether this run verifies execution at all.
+func (s *System) checking() bool { return len(s.cfg.Checkers) > 0 }
+
+// Run executes every lane to completion (halt or MaxInsts), interleaving
+// lanes in wall-clock order, and returns the collected results.
+func (s *System) Run() (*Result, error) {
+	for {
+		l := s.nextLane()
+		if l == nil {
+			break
+		}
+		if err := s.runSegment(l); err != nil {
+			return nil, err
+		}
+	}
+	return s.collect(), nil
+}
+
+// nextLane picks the live lane with the smallest local clock, which keeps
+// shared-memory harts and shared-mesh lanes causally interleaved.
+func (s *System) nextLane() *lane {
+	var best *lane
+	for _, l := range s.lanes {
+		if l.done {
+			continue
+		}
+		if best == nil || l.main.TimeNS() < best.main.TimeNS() {
+			best = l
+		}
+	}
+	return best
+}
+
+// runSegment executes one checkpoint interval on lane l: resource
+// acquisition per the operating mode, functional execution with logging
+// and main-core timing, then checker scheduling and verification.
+func (s *System) runSegment(l *lane) error {
+	hart := l.proc.mach.Harts[l.hart]
+	budget := l.proc.w.MaxInsts
+	if budget > 0 {
+		budget += l.proc.w.WarmupInsts
+	}
+	if hart.Halted || (budget > 0 && l.executed >= budget) {
+		s.finishLane(l)
+		return nil
+	}
+
+	now := l.main.TimeNS()
+	var ck *Checker
+	resumeAtNS := math.Inf(1)
+	l.segChecked = false
+
+	if s.checking() {
+		switch s.cfg.Mode {
+		case ModeFullCoverage:
+			ck = l.alloc.AcquireFree(now)
+			if ck == nil {
+				// Stall until a checker frees (section IV-A).
+				e := l.alloc.EarliestFree()
+				stall := e.FreeAtNS - now
+				l.main.StallNS(stall)
+				l.res.StallNS += stall
+				now = l.main.TimeNS()
+				ck = e
+			}
+			l.segChecked = true
+		case ModeOpportunistic:
+			if s.cfg.SamplePeriod > 1 && l.res.Segments%s.cfg.SamplePeriod != 0 {
+				// Time-based sampling (footnote 18): deliberately skip
+				// this segment; re-evaluate at the next boundary.
+				break
+			}
+			ck = l.alloc.AcquireFree(now)
+			if ck != nil {
+				l.segChecked = true
+			} else {
+				// Run unchecked until a checker frees, then immediately
+				// take a new checkpoint (section IV-A).
+				resumeAtNS = l.alloc.EarliestFree().FreeAtNS
+			}
+		}
+	}
+
+	capacityLines := 0
+	if l.segChecked {
+		capacityLines = s.lslCapacityLines(ck)
+	}
+	l.beginSegment(hart, capacityLines, s.cfg.TimeoutInsts)
+	startNS := l.main.TimeNS()
+
+	// --- functional execution with logging and main-core timing ---
+	var eff emu.Effect
+	reason := BoundaryInvalid
+	for reason == BoundaryInvalid {
+		if err := l.proc.mach.StepHart(l.hart, &eff); err != nil {
+			return fmt.Errorf("core: lane %d: %w", l.idx, err)
+		}
+		l.main.Consume(&eff)
+		l.executed++
+		l.segInsts++
+		l.sinceIRQ++
+
+		pushed := 0
+		if l.segChecked {
+			if entry, ok := EntryFromEffect(&eff); ok {
+				l.entries = append(l.entries, entry)
+				pushed = l.lspu.Append(entry)
+				l.segLines += pushed
+				l.segBytes += entry.SizeBytes(s.cfg.HashMode)
+				if s.cfg.HashMode {
+					for i := 0; i < eff.NMem; i++ {
+						m := eff.Mem[i]
+						l.rcu.AbsorbVerification(MemRec{
+							Addr: m.Addr, Size: m.Size,
+							Data: m.Data, Load: m.Kind == emu.MemLoad,
+						})
+					}
+				}
+			}
+		}
+
+		switch {
+		case eff.Halted:
+			reason = BoundaryHalt
+		case budget > 0 && l.executed >= budget:
+			reason = BoundaryHalt
+		case !l.warmed && l.proc.w.WarmupInsts > 0 && l.executed >= l.proc.w.WarmupInsts:
+			reason = BoundaryInterrupt // snapshot at a checkpoint boundary
+		case s.cfg.InterruptIntervalInsts > 0 && l.sinceIRQ >= s.cfg.InterruptIntervalInsts:
+			reason = BoundaryInterrupt
+			l.sinceIRQ = 0
+		case !l.segChecked && l.main.TimeNS() >= resumeAtNS:
+			reason = BoundaryInterrupt // resume checking at a fresh checkpoint
+		default:
+			reason = l.counter.Tick(pushed)
+		}
+	}
+
+	// --- close the checkpoint ---
+	l.segLines += l.lspu.Flush()
+	if s.cfg.CheckpointDrains {
+		l.main.Stall(s.cfg.CheckpointStallCycles)
+	} else {
+		l.main.FetchBubble(s.cfg.CheckpointStallCycles)
+	}
+	l.res.CheckpointNS += s.cfg.CheckpointStallCycles / (l.main.FreqGHz)
+	endNS := l.main.TimeNS()
+	l.res.Segments++
+
+	if !l.segChecked {
+		l.res.UncheckedInsts += l.segInsts
+		s.flows.refresh(s.mesh, endNS)
+		s.maybeSnapshotWarm(l)
+		if reason == BoundaryHalt {
+			s.finishLane(l)
+		}
+		return nil
+	}
+
+	seg := &Segment{
+		Seq:      l.segSeq,
+		Hart:     l.hart,
+		Start:    l.segStart,
+		End:      hart.State,
+		Entries:  l.entries,
+		Insts:    l.segInsts,
+		LogBytes: l.segBytes,
+		LogLines: l.segLines,
+		Reason:   reason,
+		StartNS:  startNS,
+		EndNS:    endNS,
+	}
+	if s.cfg.HashMode {
+		seg.Digest = l.rcu.Digest()
+	}
+	l.segSeq++
+	l.res.CheckedInsts += seg.Insts
+	l.res.LogBytes += uint64(seg.LogBytes)
+	l.res.LogLines += uint64(seg.LogLines)
+
+	s.dispatch(l, ck, seg)
+	s.flows.refresh(s.mesh, endNS)
+	s.maybeSnapshotWarm(l)
+	if reason == BoundaryHalt {
+		s.finishLane(l)
+	}
+	return nil
+}
+
+// maybeSnapshotWarm records the warmup-boundary counters once the lane
+// has executed its warmup budget.
+func (s *System) maybeSnapshotWarm(l *lane) {
+	if l.warmed || l.proc.w.WarmupInsts == 0 || l.executed < l.proc.w.WarmupInsts {
+		return
+	}
+	l.warmed = true
+	w := warmSnapshot{
+		timeNS:       l.main.TimeNS(),
+		insts:        l.executed,
+		segments:     l.res.Segments,
+		checked:      l.res.CheckedInsts,
+		unchecked:    l.res.UncheckedInsts,
+		stallNS:      l.res.StallNS,
+		checkpointNS: l.res.CheckpointNS,
+		logBytes:     l.res.LogBytes,
+		logLines:     l.res.LogLines,
+	}
+	if l.alloc != nil {
+		for _, ck := range l.alloc.Checkers() {
+			w.ckBusyNS = append(w.ckBusyNS, ck.BusyNS)
+			w.ckInsts = append(w.ckInsts, ck.Insts)
+			w.ckSegments = append(w.ckSegments, ck.Segments)
+		}
+	}
+	l.warm = w
+}
+
+// lslCapacityLines returns the log capacity for a segment on ck: the
+// checker's repurposed L1 data cache, or the dedicated SRAM of the
+// prior-work baselines.
+func (s *System) lslCapacityLines(ck *Checker) int {
+	if s.cfg.DedicatedLSLBytes > 0 {
+		return s.cfg.DedicatedLSLBytes / LineBytes
+	}
+	return ck.Core.Config().L1D.SizeBytes / LineBytes
+}
+
+func (l *lane) beginSegment(hart *emu.Hart, capacityLines int, timeoutInsts uint64) {
+	l.segStart = hart.State
+	l.entries = l.entries[:0]
+	l.segInsts = 0
+	l.segBytes = 0
+	l.segLines = 0
+	l.counter.TimeoutInsts = timeoutInsts
+	l.counter.Reset(capacityLines)
+}
+
+// dispatch schedules seg on checker ck: models the NoC transfer, runs the
+// checker's functional verification feeding its timing model, and records
+// the outcome.
+func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
+	// NoC traffic: the log lines plus start/end register checkpoints.
+	xferBytes := float64(seg.LogBytes) + 2*float64(l.rcu.CheckpointTransferBytes())
+	if s.cfg.LSLTrafficOnNoC {
+		s.flows.add(l.pos, ck.Pos, xferBytes)
+	}
+	lineLatNS := s.mesh.LatencyNS(l.pos, ck.Pos, LineBytes)
+
+	var startNS float64
+	if s.cfg.EagerWake {
+		// The checker starts as soon as the first line lands
+		// (section IV-H); it cannot run past pushed lines, which shows
+		// up as the completion floor below.
+		startNS = math.Max(seg.StartNS+lineLatNS, ck.FreeAtNS)
+	} else {
+		startNS = math.Max(seg.EndNS+lineLatNS, ck.FreeAtNS)
+	}
+
+	// The log lines land in the checker's repurposed L1D, evicting any
+	// resident data in place (fig. 3).
+	if s.cfg.DedicatedLSLBytes == 0 {
+		for i := 0; i < seg.LogLines; i++ {
+			ck.Core.Hier.L1D.LogAppendLine()
+		}
+	}
+
+	ck.Core.AdvanceTo(startNS * ck.FreqGHz)
+	c0 := ck.Core.Cycles()
+	var intc emu.Interceptor
+	if s.cfg.CheckerInterceptor != nil {
+		intc = s.cfg.CheckerInterceptor(l.idx, ck.ID)
+	}
+	res := CheckSegment(l.proc.w.Prog, seg, s.cfg.HashMode, intc, func(e *emu.Effect) {
+		ck.Core.Consume(e)
+	})
+	durNS := (ck.Core.Cycles() - c0) / ck.FreqGHz
+	doneNS := startNS + durNS
+	if s.cfg.EagerWake {
+		// The check cannot finish before the final line and end
+		// checkpoint arrive.
+		if floor := seg.EndNS + lineLatNS; doneNS < floor {
+			doneNS = floor
+		}
+	}
+	ck.FreeAtNS = doneNS
+	// Energy accrues only while computing; a checker that outpaces the
+	// arriving log lines sleeps (section IV-H) and is treated as gated.
+	ck.BusyNS += durNS
+	ck.Insts += res.Insts
+	ck.Segments++
+
+	// The LSL$ lines are freed at checkpoint end (section IV-F
+	// footnote 12).
+	ck.Core.Hier.L1D.LogReset()
+
+	if res.Detected() {
+		l.res.Detections++
+		if l.res.FirstDetectionInst < 0 {
+			l.res.FirstDetectionInst = l.executed
+		}
+		if len(l.res.SampleMismatches) < 8 {
+			l.res.SampleMismatches = append(l.res.SampleMismatches, res.Mismatches...)
+		}
+	}
+}
+
+func (s *System) finishLane(l *lane) {
+	if l.done {
+		return
+	}
+	l.done = true
+	l.res.Insts = uint64(l.executed)
+	l.res.TimeNS = l.main.TimeNS()
+	if l.warmed {
+		l.res.Insts -= uint64(l.warm.insts)
+		l.res.TimeNS -= l.warm.timeNS
+		l.res.Segments -= l.warm.segments
+		l.res.CheckedInsts -= l.warm.checked
+		l.res.UncheckedInsts -= l.warm.unchecked
+		l.res.StallNS -= l.warm.stallNS
+		l.res.CheckpointNS -= l.warm.checkpointNS
+		l.res.LogBytes -= l.warm.logBytes
+		l.res.LogLines -= l.warm.logLines
+	}
+	l.res.MainBusyNS = l.res.TimeNS - l.res.StallNS
+}
+
+func (s *System) collect() *Result {
+	r := &Result{MaxLinkUtilisation: s.mesh.MaxUtilisation()}
+	if s.llcExtraN > 0 {
+		r.AvgLLCExtraNS = s.llcExtraSum / float64(s.llcExtraN)
+	}
+	for _, l := range s.lanes {
+		s.finishLane(l)
+		r.Lanes = append(r.Lanes, l.res)
+		var cks []CheckerResult
+		if l.alloc != nil {
+			for i, c := range l.alloc.Checkers() {
+				cr := CheckerResult{
+					ID:       c.ID,
+					CoreName: c.Core.Config().Name,
+					FreqGHz:  c.FreqGHz,
+					BusyNS:   c.BusyNS,
+					Insts:    c.Insts,
+					Segments: c.Segments,
+				}
+				if l.warmed && i < len(l.warm.ckBusyNS) {
+					cr.BusyNS -= l.warm.ckBusyNS[i]
+					cr.Insts -= l.warm.ckInsts[i]
+					cr.Segments -= l.warm.ckSegments[i]
+				}
+				cks = append(cks, cr)
+			}
+		}
+		r.CheckersByLane = append(r.CheckersByLane, cks)
+	}
+	return r
+}
+
+// Run builds and runs a system in one call.
+func Run(cfg Config, workloads []Workload) (*Result, error) {
+	s, err := NewSystem(cfg, workloads)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

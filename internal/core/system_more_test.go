@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"paraverser/internal/asm"
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+func TestHashModeWithInterrupts(t *testing.T) {
+	// Hash Mode digests must stay consistent across interrupt-forced
+	// checkpoint boundaries (the digest resets per segment).
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.HashMode = true
+	cfg.InterruptIntervalInsts = 333
+	res, err := Run(cfg, []Workload{{Name: "m", Prog: mixedProgram(15000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes[0].Detections != 0 {
+		t.Fatalf("clean hash+interrupt run detected: %v", res.Lanes[0].SampleMismatches)
+	}
+	if res.Lanes[0].Coverage() != 1.0 {
+		t.Error("coverage below 1 in full-coverage mode")
+	}
+}
+
+func TestHashModeMultiHart(t *testing.T) {
+	// Cross-thread SWP traffic under Hash Mode: both the replay payloads
+	// and the digests must line up per hart.
+	prog := workBuilderTwoHarts()
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.HashMode = true
+	res, err := Run(cfg, []Workload{{Name: "mh", Prog: prog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lane := range res.Lanes {
+		if lane.Detections != 0 {
+			t.Errorf("hart %d: %v", i, lane.SampleMismatches)
+		}
+	}
+}
+
+// workBuilderTwoHarts builds a two-hart SWP-exchanging program.
+func workBuilderTwoHarts() *isa.Program { return buildTwoHartSwap() }
+
+// buildTwoHartSwap builds two harts racing SWPs on one shared word.
+func buildTwoHartSwap() *isa.Program {
+	b := asm.New("swap2")
+	shared := b.Word64(0)
+	for tid := int64(1); tid <= 2; tid++ {
+		lbl := "loop" + string(rune('A'+tid))
+		b.Entry()
+		b.Li(5, int64(isa.DefaultDataBase+shared))
+		b.Li(20, 0)
+		b.Li(21, 1500)
+		b.Label(lbl)
+		b.Li(6, tid)
+		b.Swp(7, 5, 6)
+		b.Add(8, 8, 7)
+		b.Addi(20, 20, 1)
+		b.Blt(20, 21, lbl)
+		b.Halt()
+	}
+	return b.MustBuild()
+}
+
+func TestSamplingStillDetectsHardFaults(t *testing.T) {
+	// Time-based sampling reduces coverage but a persistent hard fault on
+	// the checker is still caught, just later (footnote 18's premise).
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.Mode = ModeOpportunistic
+	cfg.SamplePeriod = 5
+	cfg.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
+		if ckID == 0 {
+			return &stuckBitInterceptor{class: isa.ClassIntALU, bit: 13}
+		}
+		return nil
+	}
+	res, err := Run(cfg, []Workload{{Name: "m", Prog: mixedProgram(40000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes[0].Detections == 0 {
+		t.Error("sampled mode never caught a persistent hard fault")
+	}
+}
+
+func TestEagerWakeNeverSlower(t *testing.T) {
+	prog := mixedProgram(25000)
+	run := func(eager bool) float64 {
+		cfg := DefaultConfig(a510Checkers(2, 1.4))
+		cfg.EagerWake = eager
+		res, err := Run(cfg, []Workload{{Name: "m", Prog: prog}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Lanes[0].TimeNS
+	}
+	eager, lazy := run(true), run(false)
+	if eager > lazy*1.02 {
+		t.Errorf("eager waking slower (%.0f) than lazy (%.0f)", eager, lazy)
+	}
+}
+
+func TestWarmupExcludedFromResults(t *testing.T) {
+	prog := mixedProgram(1 << 30)
+	cfg := DefaultConfig(x2Checkers(1, 3.0))
+	res, err := Run(cfg, []Workload{{Name: "m", Prog: prog, MaxInsts: 10_000, WarmupInsts: 30_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Insts != 10_000 {
+		t.Errorf("measured insts %d, want 10000 (warmup excluded)", lane.Insts)
+	}
+	var ckInsts uint64
+	for _, ck := range res.CheckersByLane[0] {
+		ckInsts += ck.Insts
+	}
+	// Checker counters are snapshotted too; they should be close to the
+	// measured window, not the full 40k.
+	if ckInsts > 15_000 {
+		t.Errorf("checker insts %d include warmup", ckInsts)
+	}
+}
+
+func TestLaneMainsHeterogeneousCompute(t *testing.T) {
+	// Two harts on different core models: the A510 lane runs slower.
+	b := buildTwoHartSwap()
+	cfg := DefaultConfig()
+	cfg.Checkers = nil
+	cfg.LaneMains = []LaneMain{
+		{CPU: cpu.X2(), FreqGHz: 3.0},
+		{CPU: cpu.A510(), FreqGHz: 2.0},
+	}
+	res, err := Run(cfg, []Workload{{Name: "het", Prog: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lanes[0].CoreName != "X2" || res.Lanes[1].CoreName != "A510" {
+		t.Fatalf("lane cores %s/%s", res.Lanes[0].CoreName, res.Lanes[1].CoreName)
+	}
+	if res.Lanes[1].TimeNS <= res.Lanes[0].TimeNS {
+		t.Error("A510 lane not slower than X2 lane on the same per-hart work")
+	}
+}
+
+func TestTooManyLanesRejected(t *testing.T) {
+	ws := make([]Workload, 5) // layout has 4 main tiles
+	for i := range ws {
+		ws[i] = Workload{Name: "m", Prog: mixedProgram(100)}
+	}
+	if _, err := Run(DefaultConfig(x2Checkers(1, 3.0)), ws); err == nil {
+		t.Error("5 lanes on a 4-main-tile layout accepted")
+	}
+}
+
+func TestEnergyReportSanity(t *testing.T) {
+	cfg := DefaultConfig(x2Checkers(1, 3.0))
+	res, err := Run(cfg, []Workload{{Name: "m", Prog: mixedProgram(20000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Energy(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A same-model same-frequency checker executing every instruction
+	// costs lockstep-like energy: within (0.5, 1.2] of the main core.
+	if rep.Overhead <= 0.5 || rep.Overhead > 1.2 {
+		t.Errorf("homogeneous energy overhead %.2f, want lockstep-like", rep.Overhead)
+	}
+	if math.IsNaN(rep.MainJ) || rep.MainJ <= 0 {
+		t.Errorf("main energy %v", rep.MainJ)
+	}
+}
+
+func TestZeroTimeoutRejected(t *testing.T) {
+	cfg := DefaultConfig(x2Checkers(1, 3.0))
+	cfg.TimeoutInsts = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("checking without a checkpoint timeout accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// CheckResult is the outcome of verifying one segment on a checker core.
+type CheckResult struct {
+	OK         bool
+	Mismatches []Mismatch
+	Insts      uint64
+}
+
+// Detected reports whether any error was raised (the segment failed the
+// induction check).
+func (r CheckResult) Detected() bool { return !r.OK }
+
+// CheckSegment replays one segment on a checker: re-executes the
+// instruction stream from the start register checkpoint with loads served
+// from the log, compares every address/size/store-datum (LSC) or digest
+// (Hash Mode), runs to exactly the checkpointed instruction count
+// (section IV-F), then compares the end register file (RCU). intc, if
+// non-nil, injects faults into the checker's own execution (as in the
+// paper's section VII-B methodology). sink, if non-nil, receives every
+// replayed effect so a checker-core timing model can consume the stream.
+func CheckSegment(prog *isa.Program, seg *Segment, hashMode bool, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
+	lsc := &LSC{}
+	rcu := NewRCU(hashMode)
+	env := NewCheckerEnv(seg, lsc, rcu)
+
+	hart := &emu.Hart{ID: seg.Hart, State: seg.Start}
+	res := CheckResult{}
+
+	var eff emu.Effect
+	for res.Insts < seg.Insts {
+		if hart.Halted {
+			lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.entryIdx})
+			break
+		}
+		if err := hart.Step(prog, env, intc, &eff); err != nil {
+			if errors.Is(err, errLogExhausted) {
+				lsc.record(Mismatch{Kind: MismatchLogExhausted, EntryIdx: env.entryIdx})
+			} else {
+				lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.entryIdx})
+			}
+			break
+		}
+		res.Insts++
+		if sink != nil {
+			sink(&eff)
+		}
+	}
+
+	// Induction step: the end register file must equal the start state of
+	// the next segment as recorded by the main core.
+	if res.Insts == seg.Insts && !rcu.Compare(&seg.End, &hart.State) {
+		lsc.record(Mismatch{Kind: MismatchRegFile, EntryIdx: env.entryIdx})
+	}
+	if hashMode {
+		if got := rcu.Digest(); got != seg.Digest {
+			lsc.record(Mismatch{Kind: MismatchHash, EntryIdx: env.entryIdx})
+		}
+	} else if res.Insts == seg.Insts && !env.Consumed() {
+		lsc.record(Mismatch{Kind: MismatchLogUnconsumed, EntryIdx: env.entryIdx})
+	}
+
+	res.Mismatches = lsc.Mismatches
+	res.OK = len(res.Mismatches) == 0
+	return res
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"testing"
+
+	"paraverser/internal/asm"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// captureSegments runs prog on a main-core emulator, splitting into
+// segments every segLen instructions, and returns the program's segments.
+func captureSegments(t *testing.T, prog *isa.Program, segLen uint64, hashMode bool) []*Segment {
+	t.Helper()
+	mach, err := emu.NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcu := NewRCU(hashMode)
+	var segs []*Segment
+	hart := mach.Harts[0]
+	for !hart.Halted {
+		seg := &Segment{Hart: 0, Start: hart.State, Seq: len(segs)}
+		var eff emu.Effect
+		for seg.Insts < segLen && !hart.Halted {
+			if err := mach.StepHart(0, &eff); err != nil {
+				t.Fatal(err)
+			}
+			seg.Insts++
+			if e, ok := EntryFromEffect(&eff); ok {
+				seg.Entries = append(seg.Entries, e)
+				if hashMode {
+					for i := 0; i < eff.NMem; i++ {
+						m := eff.Mem[i]
+						rcu.AbsorbVerification(MemRec{Addr: m.Addr, Size: m.Size,
+							Data: m.Data, Load: m.Kind == emu.MemLoad})
+					}
+				}
+			}
+		}
+		seg.End = hart.State
+		if hashMode {
+			seg.Digest = rcu.Digest()
+		}
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+// workProgram mixes arithmetic, memory, atomics, gathers, branches and
+// non-repeatable instructions — one of everything the log handles.
+func workProgram() *isa.Program {
+	b := asm.New("work")
+	a0 := b.Word64(3)
+	a1 := b.Word64(5)
+	buf := b.Reserve(512)
+	b.Li(5, int64(isa.DefaultDataBase))
+	b.Li(20, 0)
+	b.Li(21, 40)
+	b.Label("loop")
+	b.Ld(8, 6, 5, int64(a0))
+	b.Ld(8, 7, 5, int64(a1))
+	b.Add(8, 6, 7)
+	b.Gld(8, 9, 5, 5, int64(a0))
+	b.Rand(10)
+	b.Andi(10, 10, 0xFF)
+	b.Add(8, 8, 10)
+	b.St(8, 8, 5, int64(buf))
+	b.Li(11, 77)
+	b.Addi(12, 5, int64(buf)+8)
+	b.Swp(13, 12, 11)
+	b.Cycle(14)
+	b.Fcvtif(1, 8)
+	b.Fsqrt(2, 1)
+	b.Fst(2, 5, int64(buf)+16)
+	b.Andi(15, 10, 1)
+	b.Beq(15, isa.Zero, "skip")
+	b.Addi(16, 16, 1)
+	b.Label("skip")
+	b.Addi(20, 20, 1)
+	b.Blt(20, 21, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCheckSegmentCleanRun(t *testing.T) {
+	for _, hashMode := range []bool{false, true} {
+		prog := workProgram()
+		segs := captureSegments(t, prog, 50, hashMode)
+		if len(segs) < 3 {
+			t.Fatalf("hash=%v: only %d segments", hashMode, len(segs))
+		}
+		for _, seg := range segs {
+			res := CheckSegment(prog, seg, hashMode, nil, nil)
+			if !res.OK {
+				t.Fatalf("hash=%v: clean segment %d failed: %v", hashMode, seg.Seq, res.Mismatches)
+			}
+			if res.Insts != seg.Insts {
+				t.Errorf("checked %d insts, want %d", res.Insts, seg.Insts)
+			}
+		}
+	}
+}
+
+func TestCheckSegmentDetectsCorruptedStoreData(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	// Corrupt a logged store value: models the main core writing a bad
+	// value to memory (error must reach the checker, section IV-C).
+	corrupted := false
+	for _, seg := range segs {
+		for i := range seg.Entries {
+			if seg.Entries[i].Kind == EntryStore {
+				seg.Entries[i].Ops[0].Data ^= 1
+				corrupted = true
+				break
+			}
+		}
+		if corrupted {
+			res := CheckSegment(prog, seg, false, nil, nil)
+			if res.OK {
+				t.Fatal("corrupted store data not detected")
+			}
+			if res.Mismatches[0].Kind != MismatchStoreData {
+				t.Errorf("mismatch kind %v, want store-data", res.Mismatches[0].Kind)
+			}
+			return
+		}
+	}
+	t.Fatal("no store entry found")
+}
+
+func TestCheckSegmentDetectsCorruptedAddress(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	for _, seg := range segs {
+		for i := range seg.Entries {
+			if seg.Entries[i].Kind == EntryLoad {
+				seg.Entries[i].Ops[0].Addr += 8
+				res := CheckSegment(prog, seg, false, nil, nil)
+				if res.OK {
+					t.Fatal("corrupted load address not detected")
+				}
+				found := false
+				for _, m := range res.Mismatches {
+					if m.Kind == MismatchAddr {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no address mismatch in %v", res.Mismatches)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no load entry found")
+}
+
+func TestCheckSegmentDetectsCorruptedEndCheckpoint(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	seg := segs[0]
+	seg.End.X[8] ^= 0x10
+	res := CheckSegment(prog, seg, false, nil, nil)
+	if res.OK {
+		t.Fatal("corrupted end checkpoint not detected")
+	}
+	found := false
+	for _, m := range res.Mismatches {
+		if m.Kind == MismatchRegFile {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no register-file mismatch in %v", res.Mismatches)
+	}
+}
+
+func TestCheckSegmentHashDetectsStoreCorruption(t *testing.T) {
+	// In Hash Mode store data never crosses the NoC; corruption shows up
+	// as a digest mismatch instead.
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, true)
+	seg := segs[0]
+	seg.Digest[0] ^= 1
+	res := CheckSegment(prog, seg, true, nil, nil)
+	if res.OK {
+		t.Fatal("digest corruption not detected")
+	}
+	if res.Mismatches[0].Kind != MismatchHash {
+		t.Errorf("mismatch kind %v, want hash", res.Mismatches[0].Kind)
+	}
+}
+
+func TestCheckSegmentDetectsMissingEntry(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	seg := segs[0]
+	if len(seg.Entries) < 2 {
+		t.Skip("segment too small")
+	}
+	seg.Entries = seg.Entries[:len(seg.Entries)-1]
+	res := CheckSegment(prog, seg, false, nil, nil)
+	if res.OK {
+		t.Fatal("truncated log not detected")
+	}
+}
+
+func TestCheckSegmentDetectsExtraEntry(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	seg := segs[0]
+	seg.Entries = append(seg.Entries, seg.Entries[len(seg.Entries)-1])
+	res := CheckSegment(prog, seg, false, nil, nil)
+	if res.OK {
+		t.Fatal("padded log not detected")
+	}
+}
+
+// stuckBitInterceptor forces one output bit of FP-divide results to 1 —
+// the paper's hard-fault model (section VII-B).
+type stuckBitInterceptor struct {
+	class isa.Class
+	bit   uint
+	fired int
+}
+
+func (s *stuckBitInterceptor) Result(_ isa.Inst, class isa.Class, _ bool, v uint64) uint64 {
+	if class != s.class {
+		return v
+	}
+	s.fired++
+	return v | 1<<s.bit
+}
+
+func (s *stuckBitInterceptor) Address(_ isa.Inst, addr uint64) uint64 { return addr }
+
+func TestCheckSegmentDetectsInjectedFaultOnChecker(t *testing.T) {
+	// Inject a stuck-at-1 on the FP-sqrt/div unit output of the checker.
+	// Errors on the checker side are detected symmetrically (section V).
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	intc := &stuckBitInterceptor{class: isa.ClassFPDiv, bit: 3}
+	detected := false
+	for _, seg := range segs {
+		res := CheckSegment(prog, seg, false, intc, nil)
+		if res.Detected() {
+			detected = true
+			break
+		}
+	}
+	if intc.fired == 0 {
+		t.Fatal("fault never activated")
+	}
+	if !detected {
+		t.Error("stuck-at fault on checker not detected in any segment")
+	}
+}
+
+func TestCheckSegmentMaskedFaultNotDetected(t *testing.T) {
+	// A stuck-at-1 on a bit that is already 1 in every result is masked:
+	// it never changes execution and must not raise (the paper's 24%
+	// masked-injection observation).
+	prog := func() *isa.Program {
+		b := asm.New("masked")
+		b.Li(5, 1)  // bit 0 always set
+		b.Li(20, 1) // counter odd
+		b.Li(21, 31)
+		b.Label("loop")
+		b.Ori(6, 5, 1)    // result always has bit 0
+		b.Addi(20, 20, 2) // odd + 2 stays odd
+		b.Blt(20, 21, "loop")
+		b.Halt()
+		return b.MustBuild()
+	}()
+	segs := captureSegments(t, prog, 20, false)
+	intc := &stuckBitInterceptor{class: isa.ClassIntALU, bit: 0}
+	for _, seg := range segs {
+		if res := CheckSegment(prog, seg, false, intc, nil); res.Detected() {
+			t.Fatalf("masked fault detected: %v", res.Mismatches)
+		}
+	}
+	if intc.fired == 0 {
+		t.Fatal("fault never activated")
+	}
+}
+
+func TestCheckSegmentSinkReceivesEffects(t *testing.T) {
+	prog := workProgram()
+	segs := captureSegments(t, prog, 50, false)
+	var n uint64
+	CheckSegment(prog, segs[0], false, nil, func(e *emu.Effect) { n++ })
+	if n != segs[0].Insts {
+		t.Errorf("sink saw %d effects, want %d", n, segs[0].Insts)
+	}
+}

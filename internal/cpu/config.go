@@ -1,0 +1,229 @@
+// Package cpu implements the instruction-grain cycle-accounting timing
+// models for the cores in the study: a 5-wide out-of-order core modelled
+// on the Arm Cortex-X2, a 3-wide in-order core modelled on the
+// Cortex-A510, and a scalar in-order core modelling the dedicated checker
+// cores (Cortex-A55 limited to scalar, emulating A34/A35) used by the
+// DSN18 and ParaDox baselines, per section VI of the paper.
+//
+// The model is interval-style: instructions stream through in program
+// order and the model accounts fetch bandwidth and instruction-cache
+// misses, decode/dispatch width, ROB/LQ/SQ occupancy, operand readiness
+// through real per-class functional-unit latencies, functional-unit port
+// contention, MSHR-bounded miss overlap, and branch mispredict flushes
+// from a real TAGE-lite predictor. Out-of-order cores overlap independent
+// work inside the ROB window; in-order cores stall issue on any unready
+// source.
+package cpu
+
+import (
+	"fmt"
+
+	"paraverser/internal/cachesim"
+	"paraverser/internal/isa"
+)
+
+// FU describes one functional-unit pool.
+type FU struct {
+	Count int
+	// Latency is the result latency in cycles.
+	Latency int
+	// InitInterval is the issue-to-issue interval per unit (1 = fully
+	// pipelined; Latency = unpipelined).
+	InitInterval int
+}
+
+// Config describes a core model.
+type Config struct {
+	Name string
+	OoO  bool
+
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	// FrontendDepth is the fetch-to-dispatch depth in cycles, which also
+	// sets the branch misprediction penalty.
+	FrontendDepth int
+
+	ROB int // out-of-order window (OoO only)
+	IQ  int
+	LQ  int
+	SQ  int
+
+	// FUs maps instruction classes to their unit pools. ClassBranch and
+	// ClassJump resolve on the branch pool; ClassNonRepeat and
+	// ClassAtomic use the load/store pools.
+	FUs map[isa.Class]FU
+
+	L1I cachesim.Config
+	L1D cachesim.Config
+	L2  cachesim.Config
+
+	// BigPredictor selects the large TAGE configuration (64KiB MPP-TAGE
+	// stand-in) rather than the small one.
+	BigPredictor bool
+
+	// NominalGHz is the core's maximum clock.
+	NominalGHz float64
+
+	// AreaMM2 is the per-core area from die-shot measurements
+	// (section VII-E), used by the power/area model.
+	AreaMM2 float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		return fmt.Errorf("cpu %q: non-positive width", c.Name)
+	}
+	if c.OoO && c.ROB <= 0 {
+		return fmt.Errorf("cpu %q: OoO core needs a ROB", c.Name)
+	}
+	if c.NominalGHz <= 0 {
+		return fmt.Errorf("cpu %q: non-positive clock", c.Name)
+	}
+	for _, class := range []isa.Class{
+		isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv,
+		isa.ClassLoad, isa.ClassStore, isa.ClassBranch,
+	} {
+		fu, ok := c.FUs[class]
+		if !ok || fu.Count <= 0 || fu.Latency <= 0 || fu.InitInterval <= 0 {
+			return fmt.Errorf("cpu %q: missing or invalid FU pool for class %d", c.Name, class)
+		}
+	}
+	for _, cc := range []cachesim.Config{c.L1I, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("cpu %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// X2 returns the big-core model of Table I: 5-wide out-of-order at 3GHz,
+// 288-entry ROB, 120-entry IQ, 85-entry LQ, 90-entry SQ, 2 branch ALUs,
+// 2 simple int, 2 complex int, 4 FP/SIMD, 1 load-only + 1 load-store.
+func X2() Config {
+	return Config{
+		Name:          "X2",
+		OoO:           true,
+		FetchWidth:    5,
+		IssueWidth:    5,
+		CommitWidth:   5,
+		FrontendDepth: 11,
+		ROB:           288,
+		IQ:            120,
+		LQ:            85,
+		SQ:            90,
+		FUs: map[isa.Class]FU{
+			isa.ClassIntALU: {Count: 4, Latency: 1, InitInterval: 1},
+			isa.ClassIntMul: {Count: 2, Latency: 3, InitInterval: 1},
+			isa.ClassIntDiv: {Count: 1, Latency: 9, InitInterval: 7},
+			isa.ClassFPAdd:  {Count: 4, Latency: 2, InitInterval: 1},
+			isa.ClassFPMul:  {Count: 4, Latency: 3, InitInterval: 1},
+			// X2 SOG: FDIV ~10-15 cycles, partially pipelined.
+			isa.ClassFPDiv:  {Count: 2, Latency: 10, InitInterval: 7},
+			isa.ClassLoad:   {Count: 2, Latency: 1, InitInterval: 1},
+			isa.ClassStore:  {Count: 1, Latency: 1, InitInterval: 1},
+			isa.ClassBranch: {Count: 2, Latency: 1, InitInterval: 1},
+		},
+		L1I: cachesim.Config{Name: "X2.L1I", SizeBytes: 64 << 10, Ways: 4,
+			LineBytes: 64, HitCycles: 2, MSHRs: 16},
+		L1D: cachesim.Config{Name: "X2.L1D", SizeBytes: 64 << 10, Ways: 4,
+			LineBytes: 64, HitCycles: 4, MSHRs: 16},
+		L2: cachesim.Config{Name: "X2.L2", SizeBytes: 1 << 20, Ways: 8,
+			LineBytes: 64, HitCycles: 9, MSHRs: 32},
+		BigPredictor: true,
+		NominalGHz:   3.0,
+		AreaMM2:      2.43,
+	}
+}
+
+// A510 returns the little-core model of Table I: 3-wide in-order at up to
+// 2GHz, 16-entry LSQ, 1 branch ALU, 3 int, 1 div, 2 FP/SIMD, 1 load-only
+// + 1 load-store. The 22-cycle unpipelined FDIV (A510 SOG) is what makes
+// bwaves the outlier benchmark throughout the evaluation.
+func A510() Config {
+	return Config{
+		Name:          "A510",
+		OoO:           false,
+		FetchWidth:    3,
+		IssueWidth:    3,
+		CommitWidth:   3,
+		FrontendDepth: 8,
+		IQ:            16,
+		LQ:            8,
+		SQ:            8,
+		FUs: map[isa.Class]FU{
+			isa.ClassIntALU: {Count: 3, Latency: 1, InitInterval: 1},
+			isa.ClassIntMul: {Count: 1, Latency: 3, InitInterval: 2},
+			isa.ClassIntDiv: {Count: 1, Latency: 12, InitInterval: 12},
+			isa.ClassFPAdd:  {Count: 2, Latency: 3, InitInterval: 1},
+			isa.ClassFPMul:  {Count: 2, Latency: 4, InitInterval: 1},
+			isa.ClassFPDiv:  {Count: 1, Latency: 22, InitInterval: 22},
+			isa.ClassLoad:   {Count: 2, Latency: 1, InitInterval: 1},
+			isa.ClassStore:  {Count: 1, Latency: 1, InitInterval: 1},
+			isa.ClassBranch: {Count: 1, Latency: 1, InitInterval: 1},
+		},
+		L1I: cachesim.Config{Name: "A510.L1I", SizeBytes: 32 << 10, Ways: 4,
+			LineBytes: 64, HitCycles: 1, MSHRs: 12},
+		L1D: cachesim.Config{Name: "A510.L1D", SizeBytes: 32 << 10, Ways: 4,
+			LineBytes: 64, HitCycles: 1, MSHRs: 12},
+		L2: cachesim.Config{Name: "A510.L2", SizeBytes: 256 << 10, Ways: 8,
+			LineBytes: 64, HitCycles: 9, MSHRs: 16},
+		BigPredictor: false,
+		NominalGHz:   2.0,
+		AreaMM2:      0.44,
+	}
+}
+
+// A35 returns the dedicated-checker model: an A55 limited to scalar issue
+// to emulate the in-order Cortex-A34/A35 cores assumed by the DSN18 and
+// ParaDox baselines (section VI). Its area comes from the paper's
+// extrapolation: 16 of them total 0.84mm².
+func A35() Config {
+	cfg := A510()
+	cfg.Name = "A35"
+	cfg.FetchWidth = 1
+	cfg.IssueWidth = 1
+	cfg.CommitWidth = 1
+	cfg.FrontendDepth = 6
+	cfg.IQ = 4
+	cfg.LQ = 4
+	cfg.SQ = 4
+	cfg.FUs = map[isa.Class]FU{
+		isa.ClassIntALU: {Count: 1, Latency: 1, InitInterval: 1},
+		isa.ClassIntMul: {Count: 1, Latency: 4, InitInterval: 2},
+		isa.ClassIntDiv: {Count: 1, Latency: 14, InitInterval: 14},
+		isa.ClassFPAdd:  {Count: 1, Latency: 4, InitInterval: 1},
+		isa.ClassFPMul:  {Count: 1, Latency: 4, InitInterval: 2},
+		isa.ClassFPDiv:  {Count: 1, Latency: 22, InitInterval: 22},
+		isa.ClassLoad:   {Count: 1, Latency: 1, InitInterval: 1},
+		isa.ClassStore:  {Count: 1, Latency: 1, InitInterval: 1},
+		isa.ClassBranch: {Count: 1, Latency: 1, InitInterval: 1},
+	}
+	cfg.L1I = cachesim.Config{Name: "A35.L1I", SizeBytes: 16 << 10, Ways: 4,
+		LineBytes: 64, HitCycles: 1, MSHRs: 4}
+	cfg.L1D = cachesim.Config{Name: "A35.L1D", SizeBytes: 16 << 10, Ways: 4,
+		LineBytes: 64, HitCycles: 1, MSHRs: 4}
+	cfg.L2 = cachesim.Config{Name: "A35.L2", SizeBytes: 64 << 10, Ways: 4,
+		LineBytes: 64, HitCycles: 6, MSHRs: 4}
+	cfg.NominalGHz = 1.0
+	cfg.AreaMM2 = 0.84 / 16
+	return cfg
+}
+
+// fuClassFor maps an instruction class to the FU pool that executes it.
+func fuClassFor(class isa.Class) isa.Class {
+	switch class {
+	case isa.ClassJump:
+		return isa.ClassBranch
+	case isa.ClassNonRepeat:
+		return isa.ClassIntALU
+	case isa.ClassAtomic:
+		return isa.ClassLoad
+	case isa.ClassNop:
+		return isa.ClassIntALU
+	default:
+		return class
+	}
+}

@@ -1,0 +1,488 @@
+package cpu
+
+import (
+	"fmt"
+
+	"paraverser/internal/branch"
+	"paraverser/internal/cachesim"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// Mode selects how the timing model treats memory: a main core accesses
+// its real data-cache hierarchy; a checker core's loads, atomics and
+// non-repeatable reads are served from the LSL$ at L1 hit latency and its
+// stores only access the load-store comparator, so a checker never
+// generates data-side traffic (section VII-A, "Instruction Fetch").
+type Mode uint8
+
+// Core modes. Enums start at one.
+const (
+	ModeInvalid Mode = iota
+	ModeMain
+	ModeChecker
+)
+
+// Core is the timing model of one core. Create with NewCore; not safe for
+// concurrent use.
+type Core struct {
+	cfg  Config
+	mode Mode
+
+	// FreqGHz is the current DVFS operating point.
+	FreqGHz float64
+
+	Hier *cachesim.Hierarchy
+	BP   *branch.Unit
+
+	// All times below are in core cycles.
+	nextFetch   float64
+	fetchSlots  int
+	redirected  bool
+	lastLine    uint64
+	haveLine    bool
+	regInt      [isa.NumIntRegs]float64
+	regFP       [isa.NumFPRegs]float64
+	rob         ring
+	lq          ring
+	sq          ring
+	mshr        ring
+	fuFree      map[isa.Class][]float64
+	lastIssue   float64
+	issueSlots  int
+	lastCommit  float64
+	commitSlots int
+
+	insts  uint64
+	cycles float64 // commit time of the most recent instruction
+}
+
+// ring is a fixed-size ring of completion times used for occupancy
+// limits: writing a new entry requires the displaced (oldest) entry's
+// time to have passed.
+type ring struct {
+	buf []float64
+	idx int
+}
+
+func newRing(n int) ring {
+	if n <= 0 {
+		n = 1
+	}
+	return ring{buf: make([]float64, n)}
+}
+
+// push inserts t and returns the constraint time: the event can begin no
+// earlier than the displaced entry.
+func (r *ring) push(t float64) float64 {
+	oldest := r.buf[r.idx]
+	r.buf[r.idx] = t
+	r.idx++
+	if r.idx == len(r.buf) {
+		r.idx = 0
+	}
+	return oldest
+}
+
+// oldest returns the displaced-entry constraint without inserting.
+func (r *ring) peek() float64 { return r.buf[r.idx] }
+
+// NewCore builds a core with fresh caches and predictor state. freqGHz
+// of zero uses the configuration's nominal clock.
+func NewCore(cfg Config, freqGHz float64, mode Mode) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mode != ModeMain && mode != ModeChecker {
+		return nil, fmt.Errorf("cpu %q: invalid mode %d", cfg.Name, mode)
+	}
+	if freqGHz == 0 {
+		freqGHz = cfg.NominalGHz
+	}
+	if freqGHz <= 0 || freqGHz > cfg.NominalGHz+1e-9 {
+		return nil, fmt.Errorf("cpu %q: frequency %.2fGHz outside (0, %.2f]", cfg.Name, freqGHz, cfg.NominalGHz)
+	}
+	c := &Core{
+		cfg:     cfg,
+		mode:    mode,
+		FreqGHz: freqGHz,
+		Hier: &cachesim.Hierarchy{
+			L1I: cachesim.MustNew(cfg.L1I),
+			L1D: cachesim.MustNew(cfg.L1D),
+			L2:  cachesim.MustNew(cfg.L2),
+		},
+		fuFree: make(map[isa.Class][]float64, len(cfg.FUs)),
+	}
+	if cfg.BigPredictor {
+		c.BP = branch.NewUnit(branch.NewDefaultTAGE(), 13)
+	} else {
+		c.BP = branch.NewUnit(branch.NewSmallTAGE(), 11)
+	}
+	for class, fu := range cfg.FUs {
+		c.fuFree[class] = make([]float64, fu.Count)
+	}
+	rob := cfg.ROB
+	if !cfg.OoO {
+		rob = cfg.IQ
+	}
+	c.rob = newRing(rob)
+	c.lq = newRing(cfg.LQ)
+	c.sq = newRing(cfg.SQ)
+	c.mshr = newRing(cfg.L1D.MSHRs)
+	return c, nil
+}
+
+// MustNewCore is NewCore for static configurations.
+func MustNewCore(cfg Config, freqGHz float64, mode Mode) *Core {
+	c, err := NewCore(cfg, freqGHz, mode)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Mode returns the core's current mode.
+func (c *Core) Mode() Mode { return c.mode }
+
+// SetMode switches the core between main and checker duty (any core can
+// serve as either, section IV). The pipeline state carries over; caches
+// are managed by the caller (LSL reset etc.).
+func (c *Core) SetMode(m Mode) { c.mode = m }
+
+// Cycles returns the commit time of the most recently consumed
+// instruction, in core cycles.
+func (c *Core) Cycles() float64 { return c.cycles }
+
+// TimeNS returns Cycles converted to nanoseconds at the current clock.
+func (c *Core) TimeNS() float64 { return c.cycles / c.FreqGHz }
+
+// Insts returns the number of instructions consumed.
+func (c *Core) Insts() uint64 { return c.insts }
+
+// IPC returns retired instructions per cycle.
+func (c *Core) IPC() float64 {
+	if c.cycles == 0 {
+		return 0
+	}
+	return float64(c.insts) / c.cycles
+}
+
+// Stall delays the core by the given number of cycles (checkpoint
+// serialisation, full-coverage back-pressure).
+func (c *Core) Stall(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	base := c.cycles
+	if c.nextFetch > base {
+		base = c.nextFetch
+	}
+	c.nextFetch = base + cycles
+	c.fetchSlots = 0
+	if c.cycles < c.nextFetch {
+		c.cycles = c.nextFetch
+	}
+}
+
+// StallNS is Stall expressed in nanoseconds.
+func (c *Core) StallNS(ns float64) { c.Stall(ns * c.FreqGHz) }
+
+// FetchBubble inserts a front-end bubble of the given length without
+// draining the out-of-order window: the cost is largely hidden by
+// in-flight work. This models a register checkpoint taken at commit
+// without delaying it (ParaVerser's RCU), in contrast to Stall, which
+// serialises against the committed state (DSN18-style checkpointing).
+func (c *Core) FetchBubble(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	c.nextFetch += cycles
+	c.fetchSlots = 0
+}
+
+// AdvanceTo moves the core's clock forward to at least the given cycle
+// count (used when a checker sleeps waiting for work).
+func (c *Core) AdvanceTo(cycle float64) {
+	if cycle > c.nextFetch {
+		c.nextFetch = cycle
+		c.fetchSlots = 0
+	}
+	if cycle > c.cycles {
+		c.cycles = cycle
+	}
+}
+
+// srcReady returns the cycle when all source operands of the instruction
+// are available.
+func (c *Core) srcReady(in isa.Inst, class isa.Class) float64 {
+	var t float64
+	rInt := func(r isa.Reg) {
+		if v := c.regInt[r]; v > t {
+			t = v
+		}
+	}
+	rFP := func(r isa.Reg) {
+		if v := c.regFP[r]; v > t {
+			t = v
+		}
+	}
+	switch class {
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		switch in.Op {
+		case isa.OpFCVTIF, isa.OpFMVIF:
+			rInt(in.Rs1)
+		default:
+			rFP(in.Rs1)
+			rFP(in.Rs2)
+		}
+	case isa.ClassLoad:
+		rInt(in.Rs1)
+		if in.Op == isa.OpGLD {
+			rInt(in.Rs2)
+		}
+	case isa.ClassStore:
+		rInt(in.Rs1)
+		if in.Op == isa.OpFST {
+			rFP(in.Rs2)
+		} else {
+			rInt(in.Rs2)
+		}
+		if in.Op == isa.OpSST {
+			rInt(in.Rd)
+		}
+	case isa.ClassAtomic:
+		rInt(in.Rs1)
+		rInt(in.Rs2)
+	case isa.ClassBranch:
+		rInt(in.Rs1)
+		rInt(in.Rs2)
+	case isa.ClassJump:
+		if in.Op == isa.OpJALR {
+			rInt(in.Rs1)
+		}
+	case isa.ClassNop, isa.ClassNonRepeat:
+	default: // integer ALU/mul/div
+		rInt(in.Rs1)
+		switch in.Op {
+		case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+			isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpLUI:
+		default:
+			rInt(in.Rs2)
+		}
+	}
+	return t
+}
+
+// allocFU reserves a functional unit for the instruction, returning its
+// start time given the earliest possible issue time.
+func (c *Core) allocFU(class isa.Class, earliest float64) (start float64, latency int) {
+	fuClass := fuClassFor(class)
+	pool := c.fuFree[fuClass]
+	fu := c.cfg.FUs[fuClass]
+	best := 0
+	for i := 1; i < len(pool); i++ {
+		if pool[i] < pool[best] {
+			best = i
+		}
+	}
+	start = earliest
+	if pool[best] > start {
+		start = pool[best]
+	}
+	pool[best] = start + float64(fu.InitInterval)
+	return start, fu.Latency
+}
+
+// pauseCycles is the front-end idle a spin-wait hint costs: spin loops
+// cover wall time with few executed instructions.
+const pauseCycles = 48
+
+// Consume advances the timing model over one executed instruction.
+func (c *Core) Consume(eff *emu.Effect) {
+	in := eff.Inst
+	class := eff.Class
+	if in.Op == isa.OpPAUSE {
+		c.FetchBubble(pauseCycles)
+	}
+
+	// --- fetch ---
+	lineAddr := isa.PCToAddr(eff.PC) / uint64(c.cfg.L1I.LineBytes)
+	if c.redirected || !c.haveLine || lineAddr != c.lastLine {
+		res := c.Hier.Fetch(isa.PCToAddr(eff.PC))
+		if res.Level > 1 {
+			// Miss: the front end stalls for the full fill latency.
+			c.nextFetch += res.TotalCycles(c.FreqGHz)
+			c.fetchSlots = 0
+		}
+		c.lastLine = lineAddr
+		c.haveLine = true
+		c.redirected = false
+	}
+	fetchAt := c.nextFetch
+	c.fetchSlots++
+	if c.fetchSlots >= c.cfg.FetchWidth {
+		c.nextFetch++
+		c.fetchSlots = 0
+	}
+
+	// --- dispatch ---
+	dispatch := fetchAt + float64(c.cfg.FrontendDepth)
+	if oldest := c.rob.peek(); oldest > dispatch {
+		dispatch = oldest // window full: wait for the oldest to commit
+	}
+
+	// --- issue ---
+	issue := dispatch
+	if s := c.srcReady(in, class); s > issue {
+		issue = s
+	}
+	if !c.cfg.OoO {
+		// In-order issue: program order, width per cycle.
+		if c.lastIssue > issue {
+			issue = c.lastIssue
+		}
+		if issue == c.lastIssue {
+			c.issueSlots++
+			if c.issueSlots >= c.cfg.IssueWidth {
+				issue++
+				c.issueSlots = 0
+			}
+		} else {
+			c.issueSlots = 1
+		}
+		c.lastIssue = issue
+	}
+	start, latency := c.allocFU(class, issue)
+	done := start + float64(latency)
+
+	// --- memory ---
+	switch class {
+	case isa.ClassLoad, isa.ClassAtomic, isa.ClassNonRepeat:
+		done = c.loadDone(eff, start)
+		if class != isa.ClassNonRepeat {
+			if lqOld := c.lq.push(done); lqOld > start {
+				// LQ occupancy pressure folds into completion.
+				done += lqOld - start
+			}
+		}
+	case isa.ClassStore:
+		// Stores complete at commit via the write buffer; the cache
+		// state is updated then. Occupancy tracked below.
+	}
+
+	// --- branch resolution ---
+	if isa.IsBranch(in.Op) {
+		resolveAt := done
+		if c.mode == ModeMain || c.mode == ModeChecker {
+			if correct := c.BP.Resolve(in.Op, eff.PC, eff.Taken, eff.NextPC); !correct {
+				redirect := resolveAt + float64(c.cfg.FrontendDepth)
+				if redirect > c.nextFetch {
+					c.nextFetch = redirect
+					c.fetchSlots = 0
+				}
+				c.redirected = true
+			}
+		}
+	} else if eff.Taken {
+		// Taken non-branch cannot happen, but keep line tracking honest.
+		c.redirected = true
+	}
+
+	// --- writeback ---
+	if eff.WroteInt && in.Rd != isa.Zero {
+		c.regInt[in.Rd] = done
+	}
+	if eff.WroteFP {
+		c.regFP[in.Rd] = done
+	}
+
+	// --- commit ---
+	commit := done
+	if commit < c.lastCommit {
+		commit = c.lastCommit
+	}
+	if commit == c.lastCommit {
+		c.commitSlots++
+		if c.commitSlots >= c.cfg.CommitWidth {
+			commit++
+			c.commitSlots = 0
+		}
+	} else {
+		c.commitSlots = 1
+	}
+	c.lastCommit = commit
+
+	if class == isa.ClassStore || class == isa.ClassAtomic {
+		c.storeAtCommit(eff, commit)
+	}
+
+	c.rob.push(commit)
+	c.insts++
+	c.cycles = commit
+}
+
+// loadDone models the data access(es) of a load-class instruction and
+// returns the completion time.
+func (c *Core) loadDone(eff *emu.Effect, start float64) float64 {
+	if c.mode == ModeChecker {
+		// Checker loads are served from the LSL$: direct-indexed, no tag
+		// comparison ("far simpler" than a CAM lookup, section IV-B), so
+		// the hit is faster than a normal L1D access.
+		return start + float64((c.cfg.L1D.HitCycles+1)/2)
+	}
+	if eff.Class == isa.ClassNonRepeat {
+		// Timer/RNG reads: a system-register access, a few cycles.
+		return start + 3
+	}
+	done := start
+	for i := 0; i < eff.NMem; i++ {
+		op := eff.Mem[i]
+		if op.Kind != emu.MemLoad {
+			continue
+		}
+		res := c.Hier.Data(op.Addr, false)
+		lat := res.TotalCycles(c.FreqGHz)
+		s := start
+		if res.Level > 1 {
+			// MSHR-bounded miss overlap.
+			if oldest := c.mshr.push(s + lat); oldest > s {
+				s = oldest
+				c.mshr.buf[(c.mshr.idx+len(c.mshr.buf)-1)%len(c.mshr.buf)] = s + lat
+			}
+		}
+		if d := s + lat; d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// storeAtCommit applies store-side cache effects at commit time.
+func (c *Core) storeAtCommit(eff *emu.Effect, commit float64) {
+	if c.mode == ModeChecker {
+		// Checker stores only access the load-store comparator; there is
+		// one comparator per load/store unit, so no extra cost
+		// (section IV-E).
+		return
+	}
+	for i := 0; i < eff.NMem; i++ {
+		op := eff.Mem[i]
+		if op.Kind != emu.MemStore {
+			continue
+		}
+		res := c.Hier.Data(op.Addr, true)
+		if res.Level > 1 {
+			// Write misses allocate via the MSHRs but do not stall
+			// commit (write buffer); they do consume an MSHR slot.
+			c.mshr.push(commit + res.TotalCycles(c.FreqGHz))
+		}
+		if oldest := c.sq.push(commit); oldest > commit {
+			// SQ full: later stores (and thus commit) back up. Model by
+			// pushing the commit horizon.
+			c.lastCommit = oldest
+		}
+	}
+}

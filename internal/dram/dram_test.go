@@ -1,0 +1,51 @@
+package dram
+
+import "testing"
+
+func TestRowBufferLocality(t *testing.T) {
+	m := New(DDR4_2400())
+	first := m.AccessNS(0x1000, 0)
+	second := m.AccessNS(0x1008, 0) // same row
+	if second >= first {
+		t.Errorf("row hit %.1fns not faster than row miss %.1fns", second, first)
+	}
+	far := m.AccessNS(0x1000+1<<20, 0) // different row, same bank cycle
+	if far <= second {
+		t.Errorf("row conflict %.1fns not slower than row hit %.1fns", far, second)
+	}
+	if m.RowHitRate() <= 0 || m.RowHitRate() >= 1 {
+		t.Errorf("row hit rate %.2f", m.RowHitRate())
+	}
+}
+
+func TestStreamingHitsRows(t *testing.T) {
+	m := New(DDR4_2400())
+	for addr := uint64(0); addr < 64*1024; addr += 64 {
+		m.AccessNS(addr, 0)
+	}
+	if m.RowHitRate() < 0.9 {
+		t.Errorf("streaming row-hit rate %.2f, want > 0.9", m.RowHitRate())
+	}
+}
+
+func TestUtilisationAddsQueueing(t *testing.T) {
+	m := New(DDR4_2400())
+	idle := m.AccessNS(0x2000, 0)
+	m2 := New(DDR4_2400())
+	loaded := m2.AccessNS(0x2000, 0.9)
+	if loaded <= idle {
+		t.Errorf("loaded access %.1fns not slower than idle %.1fns", loaded, idle)
+	}
+	m3 := New(DDR4_2400())
+	saturated := m3.AccessNS(0x2000, 5.0) // clamped internally
+	if saturated <= loaded {
+		t.Error("saturation clamp broke monotonicity")
+	}
+}
+
+func TestZeroAccesses(t *testing.T) {
+	m := New(DDR4_2400())
+	if m.RowHitRate() != 0 {
+		t.Error("empty model has non-zero row hit rate")
+	}
+}

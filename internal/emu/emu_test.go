@@ -1,0 +1,478 @@
+package emu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paraverser/internal/asm"
+	"paraverser/internal/isa"
+)
+
+func TestMemoryLoadStoreSizes(t *testing.T) {
+	m := NewMemory()
+	for _, size := range []uint8{1, 2, 4, 8} {
+		addr := uint64(0x1000) + uint64(size)*64
+		val := uint64(0xA1B2C3D4E5F60718)
+		if err := m.Store(addr, size, val); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Load(addr, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := val
+		if size < 8 {
+			want = val & (1<<(8*size) - 1)
+		}
+		if got != want {
+			t.Errorf("size %d: got %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestMemoryUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	v, err := m.Load(0xDEAD0000, 8)
+	if err != nil || v != 0 {
+		t.Errorf("unmapped load = %#x, %v; want 0, nil", v, err)
+	}
+	if m.PagesMapped() != 0 {
+		t.Error("load should not map pages")
+	}
+}
+
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(pageSize - 3) // straddles the first page boundary
+	if err := m.Store(addr, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load(addr, 8)
+	if err != nil || got != 0x1122334455667788 {
+		t.Errorf("straddling load = %#x, %v", got, err)
+	}
+	if m.PagesMapped() != 2 {
+		t.Errorf("pages mapped = %d, want 2", m.PagesMapped())
+	}
+}
+
+func TestMemoryBadSize(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Load(0, 3); err == nil {
+		t.Error("want error for size 3 load")
+	}
+	if err := m.Store(0, 5, 0); err == nil {
+		t.Error("want error for size 5 store")
+	}
+}
+
+func TestMemoryQuickRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, val uint64, sizeSel uint8) bool {
+		size := []uint8{1, 2, 4, 8}[sizeSel%4]
+		addr %= 1 << 30
+		if err := m.Store(addr, size, val); err != nil {
+			return false
+		}
+		got, err := m.Load(addr, size)
+		if err != nil {
+			return false
+		}
+		want := val
+		if size < 8 {
+			want &= 1<<(8*size) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildSum builds a program that computes sum(1..n) in a loop and stores
+// the result at data offset 0.
+func buildSum(n int64) *isa.Program {
+	b := asm.New("sum")
+	b.Sym("result", b.Word64(0))
+	const rI, rN, rSum, rAddr = isa.Reg(10), isa.Reg(11), isa.Reg(12), isa.Reg(13)
+	b.Li(rI, 1)
+	b.Li(rN, n)
+	b.Li(rSum, 0)
+	b.Label("loop")
+	b.Add(rSum, rSum, rI)
+	b.Addi(rI, rI, 1)
+	b.Bge(rN, rI, "loop")
+	b.LiSym(rAddr, "result")
+	b.St(8, rSum, rAddr, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRunSumLoop(t *testing.T) {
+	prog := buildSum(100)
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Mem.Load(prog.DataBase, 8)
+	if got != 5050 {
+		t.Errorf("sum(1..100) = %d, want 5050", got)
+	}
+}
+
+func TestEffectsRecordMemOps(t *testing.T) {
+	b := asm.New("memops")
+	off := b.Word64(0x1234)
+	b.Li(5, int64(isa.DefaultDataBase+off))
+	b.Ld(8, 6, 5, 0) // load 0x1234
+	b.St(4, 6, 5, 8) // store low 4 bytes at +8
+	b.Li(7, 99)
+	b.Swp(8, 5, 7) // swap: loads 0x1234, stores 99
+	b.Halt()
+	prog := b.MustBuild()
+
+	var loads, stores int
+	var swpEff *Effect
+	_, err := RunProgram(prog, 0, func(_ int, e *Effect) error {
+		for i := 0; i < e.NMem; i++ {
+			switch e.Mem[i].Kind {
+			case MemLoad:
+				loads++
+			case MemStore:
+				stores++
+			}
+		}
+		if e.Inst.Op == isa.OpSWP {
+			cp := *e
+			swpEff = &cp
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 || stores != 2 {
+		t.Errorf("loads=%d stores=%d, want 2/2", loads, stores)
+	}
+	if swpEff == nil {
+		t.Fatal("no SWP effect recorded")
+	}
+	if swpEff.NMem != 2 || swpEff.Mem[0].Kind != MemLoad || swpEff.Mem[1].Kind != MemStore {
+		t.Errorf("SWP effect wrong shape: %+v", swpEff)
+	}
+	if swpEff.Mem[0].Data != 0x1234 || swpEff.Mem[1].Data != 99 {
+		t.Errorf("SWP data: load=%d store=%d, want 0x1234/99", swpEff.Mem[0].Data, swpEff.Mem[1].Data)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	b := asm.New("gs")
+	o1 := b.Word64(10)
+	o2 := b.Word64(32)
+	o3 := b.Reserve(16)
+	b.Li(5, int64(isa.DefaultDataBase+o1))
+	b.Li(6, int64(isa.DefaultDataBase+o2))
+	b.Gld(8, 7, 5, 6, 0) // r7 = 10 + 32
+	b.Li(8, int64(isa.DefaultDataBase+o3))
+	b.Li(9, int64(isa.DefaultDataBase+o3+8))
+	b.Mov(10, 7)
+	b.Emit(isa.Inst{Op: isa.OpSST, Rd: 10, Rs1: 8, Rs2: 9, Size: 8})
+	b.Halt()
+	prog := b.MustBuild()
+
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := m.Mem.Load(prog.DataBase+o3, 8)
+	v2, _ := m.Mem.Load(prog.DataBase+o3+8, 8)
+	if v1 != 42 || v2 != 42 {
+		t.Errorf("scatter results %d, %d; want 42, 42", v1, v2)
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	b := asm.New("fp")
+	oa := b.Float64(9.0)
+	ob := b.Float64(2.0)
+	ores := b.Reserve(8)
+	b.Li(5, int64(isa.DefaultDataBase))
+	b.Fld(1, 5, int64(oa))
+	b.Fld(2, 5, int64(ob))
+	b.Fdiv(3, 1, 2) // 4.5
+	b.Fsqrt(4, 1)   // 3.0
+	b.Fadd(3, 3, 4) // 7.5
+	b.Fst(3, 5, int64(ores))
+	b.Halt()
+	prog := b.MustBuild()
+
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	bits, _ := m.Mem.Load(prog.DataBase+ores, 8)
+	if got := math.Float64frombits(bits); got != 7.5 {
+		t.Errorf("fp result %v, want 7.5", got)
+	}
+}
+
+func TestNonRepeatableDeterministic(t *testing.T) {
+	b := asm.New("nr")
+	b.Rand(5)
+	b.Rand(6)
+	b.Cycle(7)
+	b.Halt()
+	prog := b.MustBuild()
+
+	run := func() []uint64 {
+		var vals []uint64
+		_, err := RunProgram(prog, 0, func(_ int, e *Effect) error {
+			if e.NonRepeat {
+				vals = append(vals, e.NonRepeatVal)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	a, b2 := run(), run()
+	if len(a) != 3 {
+		t.Fatalf("want 3 non-repeatable values, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Errorf("non-deterministic non-repeatable value %d", i)
+		}
+	}
+	if a[0] == a[1] {
+		t.Error("RAND returned identical consecutive values")
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	b := asm.New("inf")
+	b.Label("spin")
+	b.Jmp("spin")
+	prog := b.MustBuild()
+
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Run(100, nil)
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if n != 100 {
+		t.Errorf("executed %d, want 100", n)
+	}
+}
+
+func TestMultiHartSharedMemory(t *testing.T) {
+	// Hart 0 increments a counter 100 times via SWP-based lock-free adds;
+	// hart 1 does the same. Total must be 200 regardless of interleaving.
+	b := asm.New("mh")
+	cnt := b.Word64(0)
+	body := func() {
+		const rAddr, rI, rN, rV = isa.Reg(10), isa.Reg(11), isa.Reg(12), isa.Reg(13)
+		b.Li(rAddr, int64(isa.DefaultDataBase+cnt))
+		b.Li(rI, 0)
+		b.Li(rN, 100)
+		loop := "loop" + string(rune('a'+b.PC()))
+		b.Label(loop)
+		b.Ld(8, rV, rAddr, 0)
+		b.Addi(rV, rV, 1)
+		b.St(8, rV, rAddr, 0)
+		b.Addi(rI, rI, 1)
+		b.Blt(rI, rN, loop)
+		b.Halt()
+	}
+	b.Entry()
+	body()
+	b.Entry()
+	body()
+	prog := b.MustBuild()
+
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantum 1 forces maximal interleaving; with non-atomic RMW the
+	// result may be < 200, but with quantum large enough to serialise,
+	// it is exactly 200. Use a big quantum to check the serial case.
+	m.Quantum = 1000
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Mem.Load(prog.DataBase+cnt, 8)
+	if got != 200 {
+		t.Errorf("counter = %d, want 200", got)
+	}
+}
+
+func TestHartStepAfterHalt(t *testing.T) {
+	b := asm.New("halt")
+	b.Halt()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eff Effect
+	if err := m.StepHart(0, &eff); err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Halted {
+		t.Error("effect not marked halted")
+	}
+	if err := m.StepHart(0, &eff); err == nil {
+		t.Error("want error stepping after halt")
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	b := asm.New("zero")
+	b.Addi(isa.Zero, isa.Zero, 42)
+	b.Mov(5, isa.Zero)
+	b.Halt()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Harts[0].State.X[5]; got != 0 {
+		t.Errorf("X0 was written: r5 = %d", got)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	b := asm.New("div0")
+	b.Li(5, 7)
+	b.Li(6, 0)
+	b.Div(7, 5, 6)
+	b.Rem(8, 5, 6)
+	b.Halt()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Harts[0].State.X[7] != ^uint64(0) {
+		t.Errorf("div by zero = %#x, want all-ones", m.Harts[0].State.X[7])
+	}
+	if m.Harts[0].State.X[8] != 7 {
+		t.Errorf("rem by zero = %d, want dividend", m.Harts[0].State.X[8])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := asm.New("call")
+	b.Li(5, 1)
+	b.Call("fn")
+	b.Li(6, 3) // executes after return
+	b.Halt()
+	b.Label("fn")
+	b.Li(5, 2)
+	b.Ret()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Harts[0].State
+	if st.X[5] != 2 || st.X[6] != 3 {
+		t.Errorf("call/ret: r5=%d r6=%d, want 2, 3", st.X[5], st.X[6])
+	}
+}
+
+// addrFlipper is a test interceptor that flips an address bit on stores.
+type addrFlipper struct{ fired int }
+
+func (a *addrFlipper) Result(_ isa.Inst, _ isa.Class, _ bool, v uint64) uint64 { return v }
+func (a *addrFlipper) Address(in isa.Inst, addr uint64) uint64 {
+	if in.Op == isa.OpST {
+		a.fired++
+		return addr ^ 8
+	}
+	return addr
+}
+
+func TestInterceptorAddress(t *testing.T) {
+	b := asm.New("ic")
+	b.Reserve(64)
+	b.Li(5, int64(isa.DefaultDataBase))
+	b.Li(6, 7)
+	b.St(8, 6, 5, 0) // intercepted: lands at +8
+	b.Halt()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := &addrFlipper{}
+	m.Intc = ic
+	if _, err := m.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ic.fired != 1 {
+		t.Fatalf("interceptor fired %d times", ic.fired)
+	}
+	at0, _ := m.Mem.Load(prog.DataBase, 8)
+	at8, _ := m.Mem.Load(prog.DataBase+8, 8)
+	if at0 != 0 || at8 != 7 {
+		t.Errorf("store landed at +0=%d +8=%d, want 0/7", at0, at8)
+	}
+}
+
+func TestPauseIsArchitecturalNop(t *testing.T) {
+	b := asm.New("pause")
+	b.Li(5, 3)
+	b.Pause()
+	b.Addi(5, 5, 1)
+	b.Halt()
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pauses int
+	if _, err := m.Run(0, func(_ int, e *Effect) error {
+		if e.Inst.Op == isa.OpPAUSE {
+			pauses++
+			if e.NMem != 0 || e.WroteInt || e.NonRepeat {
+				t.Error("PAUSE has architectural effects")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pauses != 1 {
+		t.Errorf("pauses executed: %d", pauses)
+	}
+	if m.Harts[0].State.X[5] != 4 {
+		t.Errorf("r5 = %d, want 4", m.Harts[0].State.X[5])
+	}
+}

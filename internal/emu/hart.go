@@ -1,0 +1,338 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"paraverser/internal/isa"
+)
+
+// ArchState is the architectural register state of one hart: the register
+// checkpoint unit (RCU) copies exactly this, 776 bytes in the paper's
+// accounting (section VII-E).
+type ArchState struct {
+	PC uint64
+	X  [isa.NumIntRegs]uint64
+	F  [isa.NumFPRegs]float64
+}
+
+// Env is the environment an instruction executes against. The main core
+// uses a MainEnv (real memory plus real random/cycle sources); a checker
+// core substitutes a log-replaying environment so loads, swaps and
+// non-repeatable values come from the load-store log (section IV-B).
+type Env interface {
+	Load(addr uint64, size uint8) (uint64, error)
+	Store(addr uint64, size uint8, val uint64) error
+	// Swap atomically exchanges an 8-byte value, returning the old value.
+	Swap(addr uint64, newVal uint64) (uint64, error)
+	// Rand returns the next non-repeatable random value.
+	Rand() (uint64, error)
+	// CycleRead returns the value of a timer read at the given retired-
+	// instruction count.
+	CycleRead(instret uint64) (uint64, error)
+}
+
+// Interceptor mutates instruction results to model hardware faults. A nil
+// Interceptor means fault-free execution.
+type Interceptor interface {
+	// Result may corrupt the value an instruction is about to write to
+	// its destination register. fp reports whether the destination is an
+	// FP register.
+	Result(in isa.Inst, class isa.Class, fp bool, v uint64) uint64
+	// Address may corrupt an effective address before the access is
+	// performed (modelling LSQ faults).
+	Address(in isa.Inst, addr uint64) uint64
+}
+
+// Hart is one hardware thread: architectural state plus retired count.
+type Hart struct {
+	ID      int
+	State   ArchState
+	Instret uint64
+	Halted  bool
+}
+
+// NewHart returns a hart with its stack pointer initialised.
+func NewHart(id int, entry uint64) *Hart {
+	h := &Hart{ID: id}
+	h.State.PC = entry
+	h.State.X[isa.SP] = isa.StackBase - uint64(id)*isa.StackStride
+	h.State.X[isa.TP] = uint64(id)
+	return h
+}
+
+// Step executes one instruction from prog against env, filling eff with
+// the complete architectural record. intc, if non-nil, may corrupt
+// results and addresses (fault injection).
+func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) error {
+	if h.Halted {
+		return fmt.Errorf("emu: hart %d: step after halt", h.ID)
+	}
+	pc := h.State.PC
+	if pc >= uint64(len(prog.Insts)) {
+		return fmt.Errorf("emu: hart %d: pc %d out of range", h.ID, pc)
+	}
+	in := prog.Insts[pc]
+
+	*eff = Effect{PC: pc, Inst: in, Class: isa.ClassOf(in.Op), NextPC: pc + 1}
+
+	x := &h.State.X
+	f := &h.State.F
+	rs1, rs2 := x[in.Rs1], x[in.Rs2]
+
+	writeInt := func(v uint64) {
+		if intc != nil {
+			v = intc.Result(in, eff.Class, false, v)
+		}
+		eff.WroteInt, eff.Value = true, v
+		if in.Rd != isa.Zero {
+			x[in.Rd] = v
+		}
+	}
+	writeFP := func(v float64) {
+		bits := math.Float64bits(v)
+		if intc != nil {
+			bits = intc.Result(in, eff.Class, true, bits)
+		}
+		eff.WroteFP, eff.Value = true, bits
+		f[in.Rd] = math.Float64frombits(bits)
+	}
+	effAddr := func(base uint64, imm int64) uint64 {
+		a := base + uint64(imm)
+		if intc != nil {
+			a = intc.Address(in, a)
+		}
+		return a
+	}
+
+	switch in.Op {
+	case isa.OpADD:
+		writeInt(rs1 + rs2)
+	case isa.OpSUB:
+		writeInt(rs1 - rs2)
+	case isa.OpMUL:
+		writeInt(rs1 * rs2)
+	case isa.OpDIV:
+		if rs2 == 0 {
+			writeInt(^uint64(0))
+		} else {
+			writeInt(uint64(int64(rs1) / int64(rs2)))
+		}
+	case isa.OpREM:
+		if rs2 == 0 {
+			writeInt(rs1)
+		} else {
+			writeInt(uint64(int64(rs1) % int64(rs2)))
+		}
+	case isa.OpAND:
+		writeInt(rs1 & rs2)
+	case isa.OpOR:
+		writeInt(rs1 | rs2)
+	case isa.OpXOR:
+		writeInt(rs1 ^ rs2)
+	case isa.OpSLL:
+		writeInt(rs1 << (rs2 & 63))
+	case isa.OpSRL:
+		writeInt(rs1 >> (rs2 & 63))
+	case isa.OpSRA:
+		writeInt(uint64(int64(rs1) >> (rs2 & 63)))
+	case isa.OpSLT:
+		writeInt(boolToU64(int64(rs1) < int64(rs2)))
+	case isa.OpSLTU:
+		writeInt(boolToU64(rs1 < rs2))
+
+	case isa.OpADDI:
+		writeInt(rs1 + uint64(in.Imm))
+	case isa.OpANDI:
+		writeInt(rs1 & uint64(in.Imm))
+	case isa.OpORI:
+		writeInt(rs1 | uint64(in.Imm))
+	case isa.OpXORI:
+		writeInt(rs1 ^ uint64(in.Imm))
+	case isa.OpSLLI:
+		writeInt(rs1 << (uint64(in.Imm) & 63))
+	case isa.OpSRLI:
+		writeInt(rs1 >> (uint64(in.Imm) & 63))
+	case isa.OpSRAI:
+		writeInt(uint64(int64(rs1) >> (uint64(in.Imm) & 63)))
+	case isa.OpSLTI:
+		writeInt(boolToU64(int64(rs1) < in.Imm))
+	case isa.OpLUI:
+		writeInt(uint64(in.Imm))
+
+	case isa.OpFADD:
+		writeFP(f[in.Rs1] + f[in.Rs2])
+	case isa.OpFSUB:
+		writeFP(f[in.Rs1] - f[in.Rs2])
+	case isa.OpFMUL:
+		writeFP(f[in.Rs1] * f[in.Rs2])
+	case isa.OpFDIV:
+		writeFP(f[in.Rs1] / f[in.Rs2])
+	case isa.OpFSQRT:
+		writeFP(math.Sqrt(f[in.Rs1]))
+	case isa.OpFMIN:
+		writeFP(math.Min(f[in.Rs1], f[in.Rs2]))
+	case isa.OpFMAX:
+		writeFP(math.Max(f[in.Rs1], f[in.Rs2]))
+	case isa.OpFNEG:
+		writeFP(-f[in.Rs1])
+	case isa.OpFABS:
+		writeFP(math.Abs(f[in.Rs1]))
+	case isa.OpFCVTIF:
+		writeFP(float64(int64(rs1)))
+	case isa.OpFCVTFI:
+		writeInt(uint64(int64(f[in.Rs1])))
+	case isa.OpFMVIF:
+		writeFP(math.Float64frombits(rs1))
+	case isa.OpFMVFI:
+		writeInt(math.Float64bits(f[in.Rs1]))
+	case isa.OpFEQ:
+		writeInt(boolToU64(f[in.Rs1] == f[in.Rs2]))
+	case isa.OpFLT:
+		writeInt(boolToU64(f[in.Rs1] < f[in.Rs2]))
+
+	case isa.OpLD:
+		addr := effAddr(rs1, in.Imm)
+		v, err := env.Load(addr, in.Size)
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.addMem(MemLoad, addr, in.Size, v)
+		writeInt(v)
+	case isa.OpFLD:
+		addr := effAddr(rs1, in.Imm)
+		v, err := env.Load(addr, 8)
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.addMem(MemLoad, addr, 8, v)
+		writeFP(math.Float64frombits(v))
+	case isa.OpST:
+		addr := effAddr(rs1, in.Imm)
+		val := rs2
+		eff.addMem(MemStore, addr, in.Size, truncate(val, in.Size))
+		if err := env.Store(addr, in.Size, val); err != nil {
+			return h.fault(err)
+		}
+	case isa.OpFST:
+		addr := effAddr(rs1, in.Imm)
+		val := math.Float64bits(f[in.Rs2])
+		eff.addMem(MemStore, addr, 8, val)
+		if err := env.Store(addr, 8, val); err != nil {
+			return h.fault(err)
+		}
+	case isa.OpGLD:
+		a1 := effAddr(rs1, in.Imm)
+		a2 := effAddr(rs2, 0)
+		v1, err := env.Load(a1, in.Size)
+		if err != nil {
+			return h.fault(err)
+		}
+		v2, err := env.Load(a2, in.Size)
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.addMem(MemLoad, a1, in.Size, v1)
+		eff.addMem(MemLoad, a2, in.Size, v2)
+		writeInt(v1 + v2)
+	case isa.OpSST:
+		a1 := effAddr(rs1, in.Imm)
+		a2 := effAddr(rs2, 0)
+		val := x[in.Rd]
+		eff.addMem(MemStore, a1, in.Size, truncate(val, in.Size))
+		eff.addMem(MemStore, a2, in.Size, truncate(val, in.Size))
+		if err := env.Store(a1, in.Size, val); err != nil {
+			return h.fault(err)
+		}
+		if err := env.Store(a2, in.Size, val); err != nil {
+			return h.fault(err)
+		}
+	case isa.OpSWP:
+		addr := effAddr(rs1, 0)
+		old, err := env.Swap(addr, rs2)
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.addMem(MemLoad, addr, 8, old)
+		eff.addMem(MemStore, addr, 8, rs2)
+		writeInt(old)
+
+	case isa.OpBEQ:
+		h.condBranch(in, eff, rs1 == rs2)
+	case isa.OpBNE:
+		h.condBranch(in, eff, rs1 != rs2)
+	case isa.OpBLT:
+		h.condBranch(in, eff, int64(rs1) < int64(rs2))
+	case isa.OpBGE:
+		h.condBranch(in, eff, int64(rs1) >= int64(rs2))
+	case isa.OpBLTU:
+		h.condBranch(in, eff, rs1 < rs2)
+	case isa.OpBGEU:
+		h.condBranch(in, eff, rs1 >= rs2)
+	case isa.OpJAL:
+		writeInt(pc + 1)
+		eff.Taken = true
+		eff.NextPC = pc + uint64(in.Imm)
+	case isa.OpJALR:
+		target := rs1 + uint64(in.Imm)
+		writeInt(pc + 1)
+		eff.Taken = true
+		eff.NextPC = target
+
+	case isa.OpRAND:
+		v, err := env.Rand()
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.NonRepeat, eff.NonRepeatVal = true, v
+		writeInt(v)
+	case isa.OpCYCLE:
+		v, err := env.CycleRead(h.Instret)
+		if err != nil {
+			return h.fault(err)
+		}
+		eff.NonRepeat, eff.NonRepeatVal = true, v
+		writeInt(v)
+
+	case isa.OpNOP, isa.OpPAUSE:
+	case isa.OpHALT:
+		eff.Halted = true
+		h.Halted = true
+	default:
+		return fmt.Errorf("emu: hart %d: pc %d: unimplemented op %s", h.ID, pc, in.Op)
+	}
+
+	h.State.PC = eff.NextPC
+	h.Instret++
+	return nil
+}
+
+func (h *Hart) condBranch(in isa.Inst, eff *Effect, taken bool) {
+	if taken {
+		eff.Taken = true
+		eff.NextPC = eff.PC + uint64(in.Imm)
+	}
+}
+
+func (h *Hart) fault(err error) error {
+	return fmt.Errorf("emu: hart %d: pc %d: %w", h.ID, h.State.PC, err)
+}
+
+func (e *Effect) addMem(kind MemKind, addr uint64, size uint8, data uint64) {
+	e.Mem[e.NMem] = MemOp{Kind: kind, Addr: addr, Size: size, Data: data}
+	e.NMem++
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func truncate(v uint64, size uint8) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}

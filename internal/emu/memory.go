@@ -1,0 +1,139 @@
+// Package emu implements the functional emulator for the repo ISA:
+// architectural state, sparse byte-addressable memory shared between
+// harts, per-instruction effect records (the raw material for load-store
+// logging, timing simulation and checking), and pluggable environments so
+// checker cores can re-execute instructions with loads served from a
+// load-store log instead of memory.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pageBits gives 4KiB pages.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+type page [pageSize]byte
+
+// Memory is a sparse, paged, byte-addressable memory. The zero value is
+// ready to use. Memory is not safe for concurrent use; multi-hart
+// programs are interleaved deterministically on one goroutine.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Load reads size bytes (1, 2, 4 or 8) little-endian, zero-extended.
+// Unmapped memory reads as zero.
+func (m *Memory) Load(addr uint64, size uint8) (uint64, error) {
+	if err := checkSize(size); err != nil {
+		return 0, err
+	}
+	// Fast path: access within one page.
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0, nil
+		}
+		switch size {
+		case 1:
+			return uint64(p[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+		default:
+			return binary.LittleEndian.Uint64(p[off:]), nil
+		}
+	}
+	// Page-straddling access: byte at a time.
+	var v uint64
+	for i := uint8(0); i < size; i++ {
+		b := m.loadByte(addr + uint64(i))
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+func (m *Memory) loadByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// Store writes the low size bytes of val little-endian.
+func (m *Memory) Store(addr uint64, size uint8, val uint64) error {
+	if err := checkSize(size); err != nil {
+		return err
+	}
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+		default:
+			binary.LittleEndian.PutUint64(p[off:], val)
+		}
+		return nil
+	}
+	for i := uint8(0); i < size; i++ {
+		p := m.pageFor(addr+uint64(i), true)
+		p[(addr+uint64(i))&(pageSize-1)] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// WriteBytes copies raw bytes into memory (used to materialise data
+// segments).
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for i, b := range data {
+		p := m.pageFor(addr+uint64(i), true)
+		p[(addr+uint64(i))&(pageSize-1)] = b
+	}
+}
+
+// ReadBytes copies n bytes out of memory.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.loadByte(addr + uint64(i))
+	}
+	return out
+}
+
+// PagesMapped returns the number of resident 4KiB pages, for footprint
+// assertions in tests.
+func (m *Memory) PagesMapped() int { return len(m.pages) }
+
+func checkSize(size uint8) error {
+	switch size {
+	case 1, 2, 4, 8:
+		return nil
+	default:
+		return fmt.Errorf("emu: bad access size %d", size)
+	}
+}

@@ -1,0 +1,242 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section VII): full-coverage slowdowns against the prior-work
+// baselines (fig. 6), opportunistic slowdowns (fig. 7), hard-error
+// coverage under fault injection (fig. 8), data-oriented and parallel
+// workloads (fig. 9), multi-process mixes (fig. 10), the NoC sensitivity
+// study with Hash Mode (fig. 11), and the power, area and
+// compute-opportunity-cost analyses (sections VII-E and VII-F). The same
+// entry points back the paraverser CLI and the repository's benchmark
+// suite.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paraverser/internal/core"
+	"paraverser/internal/isa"
+	"paraverser/internal/stats"
+	"paraverser/internal/workload/spec"
+)
+
+// Scale sets how much simulation each experiment performs. Quick keeps
+// the full suite under a couple of minutes; Full approaches the paper's
+// methodology (scaled from its 1B-instruction windows to what a laptop
+// simulates in reasonable time).
+type Scale struct {
+	// Insts bounds measured main-core instructions per benchmark run;
+	// Warmup instructions run first without being measured (the paper's
+	// fast-forward).
+	Insts  int64
+	Warmup int64
+	// Benchmarks selects the SPEC subset (nil = all 20).
+	Benchmarks []string
+	// FaultTrials is the number of injected faults per benchmark in
+	// fig. 8; FaultHorizon the detection window in instructions;
+	// FaultBenchmarks the benchmarks injected into (nil = the four the
+	// paper calls out: bwaves, deepsjeng, imagick, perlbench).
+	FaultTrials     int
+	FaultHorizon    int64
+	FaultBenchmarks []string
+	// GAPScale is the Kronecker graph scale (2^scale vertices);
+	// GAPEdgeFactor its edges-per-vertex.
+	GAPScale      int
+	GAPEdgeFactor int
+	// ParsecScale is the per-thread element count for the PARSEC suite.
+	ParsecScale int
+	// ED2PFreqs are the candidate A510 DVFS points for the ED²P search.
+	ED2PFreqs []float64
+}
+
+// Quick returns the scale used by tests and the benchmark suite.
+func Quick() Scale {
+	return Scale{
+		Insts:  120_000,
+		Warmup: 80_000,
+		Benchmarks: []string{
+			"perlbench", "gcc", "mcf", "deepsjeng", "exchange2",
+			"bwaves", "lbm", "imagick",
+		},
+		FaultTrials:     6,
+		FaultHorizon:    250_000,
+		FaultBenchmarks: []string{"deepsjeng", "imagick"},
+		GAPScale:        9,
+		GAPEdgeFactor:   8,
+		ParsecScale:     400,
+		ED2PFreqs:       []float64{1.4, 2.0},
+	}
+}
+
+// Full returns the CLI's default scale.
+func Full() Scale {
+	return Scale{
+		Insts:           250_000,
+		Warmup:          150_000,
+		Benchmarks:      nil,
+		FaultTrials:     12,
+		FaultHorizon:    600_000,
+		FaultBenchmarks: []string{"bwaves", "deepsjeng", "imagick", "perlbench"},
+		GAPScale:        11,
+		GAPEdgeFactor:   10,
+		ParsecScale:     1000,
+		ED2PFreqs:       []float64{1.4, 1.6, 2.0},
+	}
+}
+
+func (sc Scale) benchmarks() []string {
+	if len(sc.Benchmarks) > 0 {
+		return sc.Benchmarks
+	}
+	return spec.Names()
+}
+
+func (sc Scale) faultBenchmarks() []string {
+	if len(sc.FaultBenchmarks) > 0 {
+		return sc.FaultBenchmarks
+	}
+	return []string{"bwaves", "deepsjeng", "imagick", "perlbench"}
+}
+
+// progCache builds each benchmark program once; generation (working-set
+// initialisation) dominates otherwise.
+var progCache sync.Map // string -> *isa.Program
+
+func specProg(name string) (*isa.Program, error) {
+	if v, ok := progCache.Load(name); ok {
+		return v.(*isa.Program), nil
+	}
+	p, err := spec.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := p.Build(1 << 40)
+	if err != nil {
+		return nil, err
+	}
+	progCache.Store(name, prog)
+	return prog, nil
+}
+
+// runSpecW executes one benchmark under cfg with an explicit measurement
+// window.
+func runSpecW(cfg core.Config, name string, insts, warmup int64) (*core.Result, error) {
+	prog, err := specProg(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(cfg, []core.Workload{{
+		Name: name, Prog: prog, MaxInsts: insts, WarmupInsts: warmup,
+	}})
+}
+
+// runSpec executes one benchmark under cfg at the scale's window.
+func (sc Scale) runSpec(cfg core.Config, name string) (*core.Result, error) {
+	return runSpecW(cfg, name, sc.Insts, sc.Warmup)
+}
+
+// baseKey caches baseline times per benchmark+window.
+type baseKey struct {
+	name          string
+	insts, warmup int64
+}
+
+var baseCache sync.Map // baseKey -> float64 (TimeNS)
+
+// baselineNS returns the no-checking run time for a benchmark.
+func (sc Scale) baselineNS(name string) (float64, error) {
+	k := baseKey{name, sc.Insts, sc.Warmup}
+	if v, ok := baseCache.Load(k); ok {
+		return v.(float64), nil
+	}
+	cfg := core.DefaultConfig()
+	cfg.Checkers = nil
+	res, err := sc.runSpec(cfg, name)
+	if err != nil {
+		return 0, err
+	}
+	t := res.Lanes[0].TimeNS
+	baseCache.Store(k, t)
+	return t, nil
+}
+
+// NamedConfig pairs a label with a system configuration.
+type NamedConfig struct {
+	Label string
+	Cfg   core.Config
+}
+
+// SeriesResult is one figure's data: per-benchmark values per
+// configuration, plus a geomean row.
+type SeriesResult struct {
+	Title      string
+	Metric     string // e.g. "slowdown %" or "coverage %"
+	Benchmarks []string
+	Values     map[string]map[string]float64 // config -> bench -> value
+	Order      []string                      // config display order
+	Notes      []string
+}
+
+// Geomean returns the geometric mean of one configuration's slowdown
+// ratios; for percentage metrics it first converts back to ratios.
+func (r *SeriesResult) Geomean(config string) float64 {
+	vals := r.Values[config]
+	xs := make([]float64, 0, len(vals))
+	for _, b := range r.Benchmarks {
+		if v, ok := vals[b]; ok {
+			xs = append(xs, 1+v/100)
+		}
+	}
+	return (stats.Geomean(xs) - 1) * 100
+}
+
+// Range returns the min and max value of one configuration.
+func (r *SeriesResult) Range(config string) (float64, float64) {
+	vals := r.Values[config]
+	xs := make([]float64, 0, len(vals))
+	for _, b := range r.Benchmarks {
+		if v, ok := vals[b]; ok {
+			xs = append(xs, v)
+		}
+	}
+	return stats.MinMax(xs)
+}
+
+// Table renders the figure as the text table the CLI prints.
+func (r *SeriesResult) Table() string {
+	header := append([]string{"benchmark"}, r.Order...)
+	t := stats.NewTable(header...)
+	for _, b := range r.Benchmarks {
+		row := make([]any, 0, len(header))
+		row = append(row, b)
+		for _, cfg := range r.Order {
+			if v, ok := r.Values[cfg][b]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Row(row...)
+	}
+	gm := make([]any, 0, len(header))
+	gm = append(gm, "GEOMEAN")
+	for _, cfg := range r.Order {
+		gm = append(gm, fmt.Sprintf("%.2f", r.Geomean(cfg)))
+	}
+	t.Row(gm...)
+	out := fmt.Sprintf("%s (%s)\n%s", r.Title, r.Metric, t.String())
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

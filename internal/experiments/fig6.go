@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paraverser/internal/core"
+	"paraverser/internal/cpu"
+	"paraverser/internal/lockstep"
+	"paraverser/internal/power"
+)
+
+func x2Spec(n int, f float64) core.CheckerSpec {
+	return core.CheckerSpec{CPU: cpu.X2(), FreqGHz: f, Count: n}
+}
+
+func a510Spec(n int, f float64) core.CheckerSpec {
+	return core.CheckerSpec{CPU: cpu.A510(), FreqGHz: f, Count: n}
+}
+
+// fig6Configs are the full-coverage checker configurations of fig. 6,
+// including the prior-work baselines remodelled per section VI.
+func fig6Configs() []NamedConfig {
+	return []NamedConfig{
+		{Label: "1xX2@3.0", Cfg: core.DefaultConfig(x2Spec(1, 3.0))},
+		{Label: "2xX2@1.5", Cfg: core.DefaultConfig(x2Spec(2, 1.5))},
+		{Label: "4xA510@2.0", Cfg: core.DefaultConfig(a510Spec(4, 2.0))},
+		{Label: "DSN18-12", Cfg: lockstep.DSN18()},
+		{Label: "ParaDox-16", Cfg: lockstep.ParaDox()},
+	}
+}
+
+// Fig6 reproduces the full-coverage slowdown figure: main-core slowdown
+// (percent) per benchmark for each checker configuration, including the
+// per-benchmark ED²P-minimal 4xA510 DVFS point.
+func Fig6(sc Scale) (*SeriesResult, error) {
+	r := &SeriesResult{
+		Title:      "Fig. 6: full-coverage slowdown by checker configuration",
+		Metric:     "slowdown % vs no-checking baseline",
+		Benchmarks: sc.benchmarks(),
+		Values:     make(map[string]map[string]float64),
+	}
+	configs := fig6Configs()
+	for _, nc := range configs {
+		r.Order = append(r.Order, nc.Label)
+		r.Values[nc.Label] = make(map[string]float64)
+	}
+	const ed2pLabel = "4xA510-ED2P"
+	r.Order = append(r.Order, ed2pLabel)
+	r.Values[ed2pLabel] = make(map[string]float64)
+
+	for _, bench := range r.Benchmarks {
+		base, err := sc.baselineNS(bench)
+		if err != nil {
+			return nil, err
+		}
+		for _, nc := range configs {
+			res, err := sc.runSpec(nc.Cfg, bench)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s/%s: %w", nc.Label, bench, err)
+			}
+			if res.Detections() != 0 {
+				return nil, fmt.Errorf("fig6 %s/%s: clean run raised detections", nc.Label, bench)
+			}
+			r.Values[nc.Label][bench] = (res.Lanes[0].TimeNS/base - 1) * 100
+		}
+		slow, _, err := ed2pPoint(sc, bench, base)
+		if err != nil {
+			return nil, err
+		}
+		r.Values[ed2pLabel][bench] = slow
+	}
+	r.Notes = append(r.Notes,
+		"paper: ~1.6% gm homogeneous, ~3.4% gm 4xA510@2.0, ~4.3% gm ED2P, ~9% DSN18, ~1.2% ParaDox",
+		fmt.Sprintf("ParaDox/DSN18 dedicated cores carry ~%.0f%%/%.0f%% extra area (section VII-E)",
+			lockstep.AreaOverhead(lockstep.ParaDox())*100, lockstep.AreaOverhead(lockstep.DSN18())*100))
+	return r, nil
+}
+
+// ed2pPoint searches the A510 DVFS points for the frequency minimising
+// energy x delay² on one benchmark, returning its slowdown percentage and
+// checking-energy overhead.
+func ed2pPoint(sc Scale, bench string, baseNS float64) (slowPct, energyOverhead float64, err error) {
+	type point struct {
+		slow, overhead float64
+	}
+	points := make(map[float64]point, len(sc.ED2PFreqs))
+	var innerErr error
+	bestF, _, _ := power.MinimiseED2P(sc.ED2PFreqs, func(f float64) (float64, float64) {
+		cfg := core.DefaultConfig(a510Spec(4, f))
+		res, err := sc.runSpec(cfg, bench)
+		if err != nil {
+			innerErr = err
+			return 1e18, 1e18
+		}
+		rep, err := core.Energy(cfg, res)
+		if err != nil {
+			innerErr = err
+			return 1e18, 1e18
+		}
+		d := res.Lanes[0].TimeNS
+		points[f] = point{slow: (d/baseNS - 1) * 100, overhead: rep.Overhead}
+		return rep.MainJ + rep.CheckerJ, d
+	})
+	if innerErr != nil {
+		return 0, 0, fmt.Errorf("fig6 ed2p %s: %w", bench, innerErr)
+	}
+	best := points[bestF]
+	return best.slow, best.overhead, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paraverser/internal/core"
+	"paraverser/internal/emu"
+	"paraverser/internal/fault"
+	"paraverser/internal/isa"
+)
+
+// Fig8Result reports the hard-error injection study.
+type Fig8Result struct {
+	Coverage *SeriesResult
+	// FullDetectedPct is the fraction of injected faults detected under
+	// full coverage (the paper's 76%; the remainder were masked).
+	FullDetectedPct float64
+	// MaskedPct is the fraction whose activations never changed
+	// execution.
+	MaskedPct float64
+	// MeanDetectionInsts is the mean main-core instruction count at
+	// first detection for opportunistically detected faults.
+	MeanDetectionInsts float64
+}
+
+// fig8Configs are the opportunistic checker configurations whose
+// hard-error coverage fig. 8 sweeps ("minimum required configuration to
+// cover such portions of errors").
+func fig8Configs() []NamedConfig {
+	mk := func(spec core.CheckerSpec) core.Config {
+		cfg := core.DefaultConfig(spec)
+		cfg.Mode = core.ModeOpportunistic
+		return cfg
+	}
+	return []NamedConfig{
+		{Label: "1xA510@0.5", Cfg: mk(a510Spec(1, 0.5))},
+		{Label: "1xA510@1.0", Cfg: mk(a510Spec(1, 1.0))},
+		{Label: "2xA510@2.0", Cfg: mk(a510Spec(2, 2.0))},
+	}
+}
+
+// withFault returns a copy of cfg that injects f on checker 0 of every
+// lane, with a fresh injector (so fire counters are per-run).
+func withFault(cfg core.Config, f fault.Fault) (core.Config, *fault.Injector, error) {
+	inj, err := fault.NewInjector(f)
+	if err != nil {
+		return cfg, nil, err
+	}
+	cfg.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
+		if ckID == 0 {
+			return inj
+		}
+		return nil
+	}
+	return cfg, inj, nil
+}
+
+// Fig8 injects single-bit stuck-at hard faults on a checker core
+// (section VII-B's methodology) and measures, per configuration, the
+// fraction of detectable faults the opportunistic mode catches within the
+// horizon. Detectability ground truth is a full-coverage run with the
+// same fault.
+func Fig8(sc Scale) (*Fig8Result, error) {
+	out := &Fig8Result{Coverage: &SeriesResult{
+		Title:      "Fig. 8: hard-error detection coverage, opportunistic mode",
+		Metric:     "% of detectable injected faults caught within horizon",
+		Benchmarks: sc.faultBenchmarks(),
+		Values:     make(map[string]map[string]float64),
+	}}
+	configs := fig8Configs()
+	for _, nc := range configs {
+		out.Coverage.Order = append(out.Coverage.Order, nc.Label)
+		out.Coverage.Values[nc.Label] = make(map[string]float64)
+	}
+
+	fullCfg := core.DefaultConfig(x2Spec(1, 3.0)) // ground truth: full coverage
+	faults := fault.Campaign(99, sc.FaultTrials, fuCounts())
+
+	var injected, fullDetected, masked int
+	var detSum, detN float64
+	for _, bench := range out.Coverage.Benchmarks {
+		detectable := make([]fault.Fault, 0, len(faults))
+		for _, f := range faults {
+			injected++
+			cfg, inj, err := withFault(fullCfg, f)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runSpecW(cfg, bench, sc.FaultHorizon, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 ground truth %s: %w", bench, err)
+			}
+			switch fault.Classify(inj, res.Detections() > 0) {
+			case fault.Detected:
+				fullDetected++
+				detectable = append(detectable, f)
+			case fault.Masked:
+				masked++
+			}
+		}
+		for _, nc := range configs {
+			caught := 0
+			for _, f := range detectable {
+				cfg, _, err := withFault(nc.Cfg, f)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runSpecW(cfg, bench, sc.FaultHorizon, 0)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s/%s: %w", nc.Label, bench, err)
+				}
+				if res.Detections() > 0 {
+					caught++
+					detSum += float64(res.Lanes[0].FirstDetectionInst)
+					detN++
+				}
+			}
+			pct := 100.0
+			if len(detectable) > 0 {
+				pct = 100 * float64(caught) / float64(len(detectable))
+			}
+			out.Coverage.Values[nc.Label][bench] = pct
+		}
+	}
+	if injected > 0 {
+		out.FullDetectedPct = 100 * float64(fullDetected) / float64(injected)
+		out.MaskedPct = 100 * float64(masked) / float64(injected)
+	}
+	if detN > 0 {
+		out.MeanDetectionInsts = detSum / detN
+	}
+	out.Coverage.Notes = append(out.Coverage.Notes,
+		fmt.Sprintf("full-coverage detected %.0f%% of injections (paper: 76%%); %.0f%% masked",
+			out.FullDetectedPct, out.MaskedPct),
+		fmt.Sprintf("mean detection latency %.0f main-core instructions", out.MeanDetectionInsts),
+		"paper: almost all detectable errors caught by 1xA510@0.5GHz within 100M instructions")
+	return out, nil
+}
+
+func fuCounts() map[isa.Class]int {
+	fu := make(map[isa.Class]int)
+	for class, pool := range x2Spec(1, 3.0).CPU.FUs {
+		fu[class] = pool.Count
+	}
+	return fu
+}

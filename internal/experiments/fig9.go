@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paraverser/internal/core"
+	"paraverser/internal/isa"
+	"paraverser/internal/workload/gap"
+	"paraverser/internal/workload/parsec"
+)
+
+// gapPrograms builds the six GAP kernels over a Kronecker graph.
+func gapPrograms(sc Scale) []core.Workload {
+	g := gap.Kronecker(sc.GAPScale, sc.GAPEdgeFactor, 1)
+	mk := func(name string, prog *isa.Program) core.Workload {
+		return core.Workload{Name: "gap." + name, Prog: prog, MaxInsts: sc.Insts * 3}
+	}
+	bfs, _ := gap.BFS(g, 0)
+	pr, _ := gap.PageRank(g, 4)
+	sssp, _ := gap.SSSP(g, 0)
+	cc, _ := gap.CC(g)
+	tc, _ := gap.TC(g)
+	bc, _ := gap.BC(g, 0)
+	return []core.Workload{
+		mk("bfs", bfs), mk("pr", pr), mk("sssp", sssp),
+		mk("cc", cc), mk("tc", tc), mk("bc", bc),
+	}
+}
+
+// Fig9 reproduces the data-oriented and parallel-workload figure:
+// full-coverage slowdown of the GAP kernels and the two-threaded PARSEC
+// kernels with 1-4 A510 checkers per main core.
+func Fig9(sc Scale) (*SeriesResult, error) {
+	r := &SeriesResult{
+		Title:  "Fig. 9: full-coverage slowdown, GAP and PARSEC, A510@2GHz checkers per main core",
+		Metric: "slowdown % vs no-checking baseline",
+		Values: make(map[string]map[string]float64),
+	}
+	counts := []int{1, 2, 3, 4}
+	for _, n := range counts {
+		label := fmt.Sprintf("%dxA510", n)
+		r.Order = append(r.Order, label)
+		r.Values[label] = make(map[string]float64)
+	}
+
+	run := func(w core.Workload) error {
+		r.Benchmarks = append(r.Benchmarks, w.Name)
+		baseCfg := core.DefaultConfig()
+		baseCfg.Checkers = nil
+		baseRes, err := core.Run(baseCfg, []core.Workload{w})
+		if err != nil {
+			return fmt.Errorf("fig9 baseline %s: %w", w.Name, err)
+		}
+		base := baseRes.TimeNS()
+		for _, n := range counts {
+			cfg := core.DefaultConfig(a510Spec(n, 2.0))
+			res, err := core.Run(cfg, []core.Workload{w})
+			if err != nil {
+				return fmt.Errorf("fig9 %dxA510 %s: %w", n, w.Name, err)
+			}
+			if res.Detections() != 0 {
+				return fmt.Errorf("fig9 %s: clean run raised detections", w.Name)
+			}
+			r.Values[fmt.Sprintf("%dxA510", n)][w.Name] = (res.TimeNS()/base - 1) * 100
+		}
+		return nil
+	}
+
+	for _, w := range gapPrograms(sc) {
+		if err := run(w); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range parsec.Kernels(sc.ParsecScale) {
+		w := core.Workload{Name: "parsec." + k.Name, Prog: k.Prog, MaxInsts: sc.Insts * 3}
+		if err := run(w); err != nil {
+			return nil, err
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper: GAP so memory-bound that 2 A510s suffice except PageRank; PARSEC ~7.6% with 3 A510s")
+	return r, nil
+}

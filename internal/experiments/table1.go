@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"paraverser/internal/core"
+	"paraverser/internal/cpu"
+	"paraverser/internal/isa"
+	"paraverser/internal/stats"
+)
+
+// Table1 renders the experimental setup of the paper's Table I as
+// realised by this repository's models.
+func Table1() string {
+	describe := func(cfg cpu.Config) []string {
+		kind := "in-order"
+		if cfg.OoO {
+			kind = "out-of-order"
+		}
+		rows := []string{
+			fmt.Sprintf("%d-wide %s, up to %.1fGHz", cfg.IssueWidth, kind, cfg.NominalGHz),
+			fmt.Sprintf("ROB %d, IQ %d, LQ %d, SQ %d", cfg.ROB, cfg.IQ, cfg.LQ, cfg.SQ),
+		}
+		fu := cfg.FUs
+		rows = append(rows, fmt.Sprintf(
+			"FUs: %d branch, %d int ALU, %d int mul, %d int div, %d FP add, %d FP mul, %d FP div, %d load, %d store",
+			fu[isa.ClassBranch].Count, fu[isa.ClassIntALU].Count, fu[isa.ClassIntMul].Count,
+			fu[isa.ClassIntDiv].Count, fu[isa.ClassFPAdd].Count, fu[isa.ClassFPMul].Count,
+			fu[isa.ClassFPDiv].Count, fu[isa.ClassLoad].Count, fu[isa.ClassStore].Count))
+		rows = append(rows,
+			fmt.Sprintf("L1I %dKiB/%d-way %dcyc, L1D %dKiB/%d-way %dcyc, L2 %dKiB/%d-way %dcyc",
+				cfg.L1I.SizeBytes>>10, cfg.L1I.Ways, cfg.L1I.HitCycles,
+				cfg.L1D.SizeBytes>>10, cfg.L1D.Ways, cfg.L1D.HitCycles,
+				cfg.L2.SizeBytes>>10, cfg.L2.Ways, cfg.L2.HitCycles))
+		return rows
+	}
+	sys := core.DefaultConfig(x2Spec(1, 3.0))
+	t := stats.NewTable("component", "configuration")
+	for _, row := range describe(cpu.X2()) {
+		t.Row("big core (X2)", row)
+	}
+	for _, row := range describe(cpu.A510()) {
+		t.Row("little core (A510)", row)
+	}
+	for _, row := range describe(cpu.A35()) {
+		t.Row("dedicated checker (A35)", row)
+	}
+	t.Row("L3", fmt.Sprintf("%dMiB, %d-way, %d-cycle (%.1fns) hit, %d MSHRs",
+		sys.L3.SizeBytes>>20, sys.L3.Ways, sys.L3.HitCycles, sys.L3HitNS, sys.L3.MSHRs))
+	t.Row("memory", fmt.Sprintf("DDR4-2400-class: %.0fns row miss, %.0fns row hit, %.1f GB/s",
+		sys.DRAM.BaseNS, sys.DRAM.RowHitNS, sys.DRAM.PeakGBs))
+	t.Row("NoC", fmt.Sprintf("%dx%d mesh, %d-bit, %.1fGHz", sys.NoC.Rows, sys.NoC.Cols, sys.NoC.WidthBits, sys.NoC.FreqGHz))
+	t.Row("reg. checkpoint", fmt.Sprintf("%.0f-cycle latency, %d-instruction timeout", sys.CheckpointStallCycles, sys.TimeoutInsts))
+	return "Table I: core and memory experimental setup\n" + t.String()
+}

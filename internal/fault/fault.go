@@ -1,0 +1,249 @@
+// Package fault implements the hard- and soft-error injection of
+// section VII-B, following the standard model of Li et al. [53]: a
+// single-bit stuck-at fault on the output of one functional unit
+// (activated only when that unit executes the instruction), a stuck-at
+// fault on load/store addresses (an LSQ fault), or a transient single-bit
+// flip. Faults are injected on the checker core so the main run is
+// undisturbed; detection is symmetrical (section V).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// Kind is the fault type.
+type Kind uint8
+
+// Fault kinds. Enums start at one.
+const (
+	KindInvalid Kind = iota
+	// StuckAt0 forces one output bit to 0 whenever the faulty unit is
+	// used.
+	StuckAt0
+	// StuckAt1 forces one output bit to 1.
+	StuckAt1
+	// Transient flips one bit exactly once (a soft error).
+	Transient
+)
+
+func (k Kind) String() string {
+	switch k {
+	case StuckAt0:
+		return "stuck-at-0"
+	case StuckAt1:
+		return "stuck-at-1"
+	case Transient:
+		return "transient"
+	default:
+		return "invalid"
+	}
+}
+
+// Fault describes one injected hardware fault.
+type Fault struct {
+	Kind Kind
+	// Class is the functional-unit class the fault lives in; ignored
+	// when LSQ is set.
+	Class isa.Class
+	// Unit selects which instance of the class's units is faulty; an
+	// instruction only activates the fault when it is steered to this
+	// unit ("errors may not be injected depending on which unit is
+	// used").
+	Unit int
+	// Units is the pool size for unit steering.
+	Units int
+	// Bit is the output bit affected.
+	Bit uint
+	// LSQ injects into load/store effective addresses instead of a
+	// functional unit.
+	LSQ bool
+	// TransientAt is the activation ordinal at which a Transient fault
+	// fires.
+	TransientAt uint64
+}
+
+func (f Fault) String() string {
+	where := fmt.Sprintf("class %d unit %d/%d", f.Class, f.Unit, f.Units)
+	if f.LSQ {
+		where = "lsq address"
+	}
+	return fmt.Sprintf("%s bit %d on %s", f.Kind, f.Bit, where)
+}
+
+// Validate checks the descriptor.
+func (f Fault) Validate() error {
+	if f.Kind == KindInvalid || f.Kind > Transient {
+		return fmt.Errorf("fault: invalid kind %d", f.Kind)
+	}
+	if f.Bit > 63 {
+		return fmt.Errorf("fault: bit %d out of range", f.Bit)
+	}
+	if !f.LSQ {
+		if f.Units <= 0 || f.Unit < 0 || f.Unit >= f.Units {
+			return fmt.Errorf("fault: unit %d/%d invalid", f.Unit, f.Units)
+		}
+	}
+	return nil
+}
+
+// Injector applies one fault as an emu.Interceptor.
+type Injector struct {
+	F Fault
+
+	// Fires counts times the faulty unit was exercised; Activations
+	// counts times the value actually changed (unmasked at the circuit
+	// level). The difference is circuit-level masking, one component of
+	// the paper's 24% masked injections.
+	Fires       uint64
+	Activations uint64
+
+	steer uint64 // deterministic unit-steering state
+}
+
+var _ emu.Interceptor = (*Injector)(nil)
+
+// NewInjector validates and wraps a fault.
+func NewInjector(f Fault) (*Injector, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{F: f}, nil
+}
+
+// steerUnit deterministically picks which unit instance executes this
+// operation (a stand-in for issue-port selection).
+func (in *Injector) steerUnit() int {
+	in.steer = in.steer*6364136223846793005 + 1442695040888963407
+	return int((in.steer >> 33) % uint64(in.F.Units))
+}
+
+func (in *Injector) apply(v uint64) uint64 {
+	in.Fires++
+	if in.F.Kind == Transient && in.Fires != in.F.TransientAt {
+		return v
+	}
+	var corrupted uint64
+	switch in.F.Kind {
+	case StuckAt0:
+		corrupted = v &^ (1 << in.F.Bit)
+	case StuckAt1:
+		corrupted = v | 1<<in.F.Bit
+	case Transient:
+		corrupted = v ^ 1<<in.F.Bit
+	default:
+		return v
+	}
+	if corrupted != v {
+		in.Activations++
+	}
+	return corrupted
+}
+
+// classMatches maps execution classes onto the faulty unit's class,
+// merging the classes that share silicon.
+func (in *Injector) classMatches(class isa.Class) bool {
+	return class == in.F.Class
+}
+
+// Result implements emu.Interceptor.
+func (in *Injector) Result(_ isa.Inst, class isa.Class, _ bool, v uint64) uint64 {
+	if in.F.LSQ || !in.classMatches(class) {
+		return v
+	}
+	if in.steerUnit() != in.F.Unit {
+		return v
+	}
+	return in.apply(v)
+}
+
+// Address implements emu.Interceptor.
+func (in *Injector) Address(_ isa.Inst, addr uint64) uint64 {
+	if !in.F.LSQ {
+		return addr
+	}
+	return in.apply(addr)
+}
+
+// Campaign generates n random hard faults over the functional units of a
+// core, mirroring the paper's injection targets: integer ALUs, FPUs, and
+// load/store addresses.
+func Campaign(seed int64, n int, fuCounts map[isa.Class]int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	classes := []isa.Class{
+		isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+		isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv,
+	}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{Bit: uint(rng.Intn(64))}
+		if rng.Intn(2) == 0 {
+			f.Kind = StuckAt1
+		} else {
+			f.Kind = StuckAt0
+		}
+		if rng.Intn(5) == 0 { // some campaigns target the LSQ
+			f.LSQ = true
+			// Keep address faults in the low bits so they stay inside
+			// mapped data and perturb behaviour rather than vanishing
+			// into unmapped space.
+			f.Bit = uint(rng.Intn(16))
+		} else {
+			class := classes[rng.Intn(len(classes))]
+			units := fuCounts[class]
+			if units <= 0 {
+				units = 1
+			}
+			f.Class = class
+			f.Units = units
+			f.Unit = rng.Intn(units)
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}
+
+// Outcome classifies one injection experiment.
+type Outcome uint8
+
+// Outcomes. Enums start at one.
+const (
+	OutcomeInvalid Outcome = iota
+	// Detected: the checker raised a mismatch.
+	Detected
+	// Masked: the fault fired but never changed an architectural value,
+	// or changed values that never reached a logged store, address or
+	// register checkpoint — correct behaviour, nothing to report.
+	Masked
+	// Dormant: the faulty unit was never exercised by the workload.
+	Dormant
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Masked:
+		return "masked"
+	case Dormant:
+		return "dormant"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify derives the outcome from an injector's counters and the
+// detection flag.
+func Classify(in *Injector, detected bool) Outcome {
+	switch {
+	case detected:
+		return Detected
+	case in.Fires == 0:
+		return Dormant
+	default:
+		return Masked
+	}
+}

@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"testing"
+
+	"paraverser/internal/isa"
+)
+
+func TestInjectorStuckAt(t *testing.T) {
+	in, err := NewInjector(Fault{Kind: StuckAt1, Class: isa.ClassIntALU, Units: 1, Bit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := in.Result(isa.Inst{}, isa.ClassIntALU, false, 0)
+	if got != 1<<4 {
+		t.Errorf("stuck-at-1 result %#x, want bit 4 set", got)
+	}
+	if in.Fires != 1 || in.Activations != 1 {
+		t.Errorf("counters %d/%d, want 1/1", in.Fires, in.Activations)
+	}
+	// Already-set bit: fires but does not activate (circuit masking).
+	in.Result(isa.Inst{}, isa.ClassIntALU, false, 1<<4)
+	if in.Fires != 2 || in.Activations != 1 {
+		t.Errorf("masked fire miscounted: %d/%d", in.Fires, in.Activations)
+	}
+
+	in0, _ := NewInjector(Fault{Kind: StuckAt0, Class: isa.ClassIntALU, Units: 1, Bit: 0})
+	if got := in0.Result(isa.Inst{}, isa.ClassIntALU, false, 0xFF); got != 0xFE {
+		t.Errorf("stuck-at-0 result %#x, want 0xFE", got)
+	}
+}
+
+func TestInjectorClassSelective(t *testing.T) {
+	in, _ := NewInjector(Fault{Kind: StuckAt1, Class: isa.ClassFPDiv, Units: 1, Bit: 0})
+	if got := in.Result(isa.Inst{}, isa.ClassIntALU, false, 0); got != 0 {
+		t.Error("fault fired on wrong class")
+	}
+	if in.Fires != 0 {
+		t.Error("wrong-class access counted as fire")
+	}
+}
+
+func TestInjectorUnitSteering(t *testing.T) {
+	// With 4 units, roughly a quarter of operations hit the faulty one.
+	in, _ := NewInjector(Fault{Kind: StuckAt1, Class: isa.ClassIntALU, Unit: 2, Units: 4, Bit: 0})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		in.Result(isa.Inst{}, isa.ClassIntALU, false, 0)
+	}
+	frac := float64(in.Fires) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("unit-2-of-4 fire fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestTransientFiresOnce(t *testing.T) {
+	in, _ := NewInjector(Fault{Kind: Transient, Class: isa.ClassIntALU, Units: 1, Bit: 7, TransientAt: 3})
+	var changed int
+	for i := 0; i < 10; i++ {
+		if in.Result(isa.Inst{}, isa.ClassIntALU, false, 0) != 0 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("transient changed %d results, want exactly 1", changed)
+	}
+	if in.Activations != 1 {
+		t.Errorf("activations %d, want 1", in.Activations)
+	}
+}
+
+func TestInjectorLSQAddress(t *testing.T) {
+	in, _ := NewInjector(Fault{Kind: StuckAt1, LSQ: true, Bit: 3})
+	if got := in.Address(isa.Inst{}, 0x1000); got != 0x1008 {
+		t.Errorf("address fault %#x, want 0x1008", got)
+	}
+	// LSQ faults must not touch results.
+	if got := in.Result(isa.Inst{}, isa.ClassIntALU, false, 5); got != 5 {
+		t.Error("LSQ fault corrupted a result")
+	}
+	// And FU faults must not touch addresses.
+	fu, _ := NewInjector(Fault{Kind: StuckAt1, Class: isa.ClassIntALU, Units: 1, Bit: 3})
+	if got := fu.Address(isa.Inst{}, 0x1000); got != 0x1000 {
+		t.Error("FU fault corrupted an address")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Fault{
+		{},
+		{Kind: StuckAt1, Bit: 99, Units: 1},
+		{Kind: StuckAt1, Bit: 1, Units: 0},
+		{Kind: StuckAt1, Bit: 1, Unit: 3, Units: 2},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if _, err := NewInjector(Fault{}); err == nil {
+		t.Error("NewInjector accepted invalid fault")
+	}
+}
+
+func TestCampaignShape(t *testing.T) {
+	fu := map[isa.Class]int{
+		isa.ClassIntALU: 4, isa.ClassIntMul: 2, isa.ClassIntDiv: 1,
+		isa.ClassFPAdd: 4, isa.ClassFPMul: 4, isa.ClassFPDiv: 2,
+	}
+	faults := Campaign(7, 200, fu)
+	if len(faults) != 200 {
+		t.Fatalf("campaign size %d", len(faults))
+	}
+	var lsq int
+	for i, f := range faults {
+		if err := f.Validate(); err != nil && !f.LSQ {
+			t.Errorf("fault %d invalid: %v", i, err)
+		}
+		if f.LSQ {
+			lsq++
+			if f.Bit > 15 {
+				t.Errorf("LSQ fault bit %d too high", f.Bit)
+			}
+		}
+	}
+	if lsq == 0 || lsq == 200 {
+		t.Errorf("campaign has %d LSQ faults, want a minority mix", lsq)
+	}
+	// Determinism: same seed, same campaign.
+	again := Campaign(7, 200, fu)
+	for i := range faults {
+		if faults[i] != again[i] {
+			t.Fatal("campaign not deterministic")
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	in := &Injector{}
+	if got := Classify(in, false); got != Dormant {
+		t.Errorf("no fires = %v, want dormant", got)
+	}
+	in.Fires = 5
+	if got := Classify(in, false); got != Masked {
+		t.Errorf("fires without detection = %v, want masked", got)
+	}
+	if got := Classify(in, true); got != Detected {
+		t.Errorf("detection = %v, want detected", got)
+	}
+}

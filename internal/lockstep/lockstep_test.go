@@ -1,0 +1,67 @@
+package lockstep
+
+import (
+	"math"
+	"testing"
+
+	"paraverser/internal/core"
+)
+
+func TestBaselineConfigsValid(t *testing.T) {
+	for _, cfg := range []core.Config{DSN18(), ParaDox(), DCLS()} {
+		if err := cfg.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDSN18Shape(t *testing.T) {
+	cfg := DSN18()
+	if cfg.Checkers[0].Count != 12 {
+		t.Errorf("DSN18 checkers = %d, want 12", cfg.Checkers[0].Count)
+	}
+	if cfg.DedicatedLSLBytes != 3<<10 {
+		t.Errorf("DSN18 LSL = %dB, want 3KiB", cfg.DedicatedLSLBytes)
+	}
+	if !cfg.CheckpointDrains {
+		t.Error("DSN18 checkpointing must drain the pipeline (commit-delaying)")
+	}
+	if cfg.EagerWake {
+		t.Error("DSN18 has no eager waking")
+	}
+}
+
+func TestParaDoxShape(t *testing.T) {
+	cfg := ParaDox()
+	if cfg.Checkers[0].Count != 16 {
+		t.Errorf("ParaDox checkers = %d, want 16", cfg.Checkers[0].Count)
+	}
+	if cfg.CheckpointDrains {
+		t.Error("ParaDox checkpointing should not drain")
+	}
+}
+
+func TestDCLSIsHomogeneous(t *testing.T) {
+	cfg := DCLS()
+	spec := cfg.Checkers[0]
+	if spec.CPU.Name != "X2" || spec.FreqGHz != 3.0 || spec.Count != 1 {
+		t.Errorf("DCLS spec %+v", spec)
+	}
+}
+
+func TestAreaOverheads(t *testing.T) {
+	// ParaDox's 16 dedicated A35s cost ~35% of an X2 (the paper's
+	// section VII-E number); DSN18's 12 cost 3/4 of that; repurposed-core
+	// designs cost nothing.
+	pd := AreaOverhead(ParaDox())
+	if math.Abs(pd-0.346) > 0.01 {
+		t.Errorf("ParaDox area overhead %.3f, want ~0.346", pd)
+	}
+	dsn := AreaOverhead(DSN18())
+	if math.Abs(dsn-pd*12/16) > 1e-9 {
+		t.Errorf("DSN18 area overhead %.3f, want 12/16 of ParaDox", dsn)
+	}
+	if AreaOverhead(DCLS()) != 0 {
+		t.Error("DCLS repurposes an existing core: no added checker area")
+	}
+}

@@ -1,0 +1,176 @@
+// Package maintenance implements the hardware predictive-maintenance use
+// case the paper motivates (section I and [16]): ParaVerser detections
+// cannot tell which of the main or checker core was faulty, nor whether a
+// fault is hard or soft, so the operator accumulates detections per core
+// pair over time and retires cores whose error rates rise above fleet
+// norms — "identifying CPUs that may become error-prone, possibly due to
+// aging, before they fail".
+package maintenance
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CoreID identifies one physical core in the fleet.
+type CoreID struct {
+	Socket int
+	Core   int
+}
+
+func (c CoreID) String() string { return fmt.Sprintf("s%d/c%d", c.Socket, c.Core) }
+
+// Observation is one checked segment's outcome for a (main, checker)
+// pair.
+type Observation struct {
+	Main     CoreID
+	Checker  CoreID
+	Insts    uint64
+	Detected bool
+}
+
+// Tracker accumulates observations and attributes blame. A detection
+// implicates both cores of the pair (section V: "we cannot directly
+// distinguish whether errors are from the main or checker core"); with
+// rotating pairings, a genuinely faulty core accumulates implication
+// across many partners while healthy partners do not.
+type Tracker struct {
+	insts      map[CoreID]uint64
+	implicated map[CoreID]uint64
+	partners   map[CoreID]map[CoreID]uint64 // implications per partner
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		insts:      make(map[CoreID]uint64),
+		implicated: make(map[CoreID]uint64),
+		partners:   make(map[CoreID]map[CoreID]uint64),
+	}
+}
+
+// Record adds one observation.
+func (t *Tracker) Record(o Observation) {
+	t.insts[o.Main] += o.Insts
+	t.insts[o.Checker] += o.Insts
+	if !o.Detected {
+		return
+	}
+	for _, pair := range [2][2]CoreID{{o.Main, o.Checker}, {o.Checker, o.Main}} {
+		core, partner := pair[0], pair[1]
+		t.implicated[core]++
+		m := t.partners[core]
+		if m == nil {
+			m = make(map[CoreID]uint64)
+			t.partners[core] = m
+		}
+		m[partner]++
+	}
+}
+
+// ErrorRate returns implications per billion checked instructions for a
+// core (the DPPB-style metric fleet scanners report).
+func (t *Tracker) ErrorRate(c CoreID) float64 {
+	n := t.insts[c]
+	if n == 0 {
+		return 0
+	}
+	return float64(t.implicated[c]) / float64(n) * 1e9
+}
+
+// DistinctPartners returns how many different partner cores implicated c:
+// a faulty core is implicated across partners; a healthy core implicated
+// by one bad partner is not.
+func (t *Tracker) DistinctPartners(c CoreID) int { return len(t.partners[c]) }
+
+// Verdict is a maintenance recommendation.
+type Verdict uint8
+
+// Verdicts. Enums start at one.
+const (
+	VerdictInvalid Verdict = iota
+	// Healthy: error rate within fleet norms.
+	Healthy
+	// Suspect: elevated rate but implicated by a single partner — the
+	// partner may be the faulty one.
+	Suspect
+	// Retire: elevated rate across multiple partners.
+	Retire
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Retire:
+		return "retire"
+	default:
+		return "invalid"
+	}
+}
+
+// Policy sets the recommendation thresholds.
+type Policy struct {
+	// RateThreshold is the implications-per-billion-instructions level
+	// above which a core is no longer Healthy.
+	RateThreshold float64
+	// MinPartners is how many distinct implicating partners upgrade
+	// Suspect to Retire.
+	MinPartners int
+	// MinInsts is the minimum checked instructions before any verdict
+	// other than Healthy (avoid retiring on noise).
+	MinInsts uint64
+}
+
+// DefaultPolicy returns conservative thresholds.
+func DefaultPolicy() Policy {
+	return Policy{RateThreshold: 10, MinPartners: 2, MinInsts: 1_000_000}
+}
+
+// Judge returns the recommendation for one core.
+func (t *Tracker) Judge(c CoreID, p Policy) Verdict {
+	if t.insts[c] < p.MinInsts || t.ErrorRate(c) < p.RateThreshold {
+		return Healthy
+	}
+	if t.DistinctPartners(c) >= p.MinPartners {
+		return Retire
+	}
+	return Suspect
+}
+
+// Report lists every core with its rate and verdict, worst first.
+type Report struct {
+	Core     CoreID
+	RatePPB  float64
+	Partners int
+	Verdict  Verdict
+}
+
+// Fleet returns the per-core report sorted by descending rate.
+func (t *Tracker) Fleet(p Policy) []Report {
+	out := make([]Report, 0, len(t.insts))
+	for c := range t.insts {
+		out = append(out, Report{
+			Core:     c,
+			RatePPB:  t.ErrorRate(c),
+			Partners: t.DistinctPartners(c),
+			Verdict:  t.Judge(c, p),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RatePPB != out[j].RatePPB {
+			return out[i].RatePPB > out[j].RatePPB
+		}
+		return lessID(out[i].Core, out[j].Core)
+	})
+	return out
+}
+
+func lessID(a, b CoreID) bool {
+	if a.Socket != b.Socket {
+		return a.Socket < b.Socket
+	}
+	return a.Core < b.Core
+}

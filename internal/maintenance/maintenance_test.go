@@ -1,0 +1,94 @@
+package maintenance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHealthyFleetStaysHealthy(t *testing.T) {
+	tr := NewTracker()
+	p := DefaultPolicy()
+	for i := 0; i < 100; i++ {
+		tr.Record(Observation{
+			Main:    CoreID{0, i % 4},
+			Checker: CoreID{0, 4 + i%4},
+			Insts:   100_000,
+		})
+	}
+	for _, r := range tr.Fleet(p) {
+		if r.Verdict != Healthy {
+			t.Errorf("%v: verdict %v on a clean fleet", r.Core, r.Verdict)
+		}
+	}
+}
+
+func TestFaultyCoreRetiredAcrossPartners(t *testing.T) {
+	tr := NewTracker()
+	p := DefaultPolicy()
+	bad := CoreID{0, 7}
+	rng := rand.New(rand.NewSource(1))
+	// The bad core serves as checker for rotating mains and raises
+	// detections often.
+	for i := 0; i < 200; i++ {
+		main := CoreID{0, i % 4}
+		tr.Record(Observation{Main: main, Checker: bad, Insts: 100_000,
+			Detected: rng.Intn(3) == 0})
+		// Healthy pairs elsewhere.
+		tr.Record(Observation{Main: CoreID{1, i % 4}, Checker: CoreID{1, 4 + i%4}, Insts: 100_000})
+	}
+	if v := tr.Judge(bad, p); v != Retire {
+		t.Errorf("bad core verdict %v, want retire (rate %.1f, partners %d)",
+			v, tr.ErrorRate(bad), tr.DistinctPartners(bad))
+	}
+	// Its partners are also implicated but each only by the bad core...
+	// they rotate, so each main saw detections only with one partner.
+	for c := 0; c < 4; c++ {
+		main := CoreID{0, c}
+		if v := tr.Judge(main, p); v == Retire {
+			t.Errorf("healthy main %v retired (implicated only by the bad checker)", main)
+		}
+	}
+}
+
+func TestSuspectNeedsVolume(t *testing.T) {
+	tr := NewTracker()
+	p := DefaultPolicy()
+	c := CoreID{2, 0}
+	tr.Record(Observation{Main: c, Checker: CoreID{2, 1}, Insts: 10_000, Detected: true})
+	if v := tr.Judge(c, p); v != Healthy {
+		t.Errorf("verdict %v below MinInsts, want healthy", v)
+	}
+	for i := 0; i < 200; i++ {
+		tr.Record(Observation{Main: c, Checker: CoreID{2, 1}, Insts: 10_000, Detected: true})
+	}
+	if v := tr.Judge(c, p); v != Suspect {
+		t.Errorf("single-partner implication verdict %v, want suspect", v)
+	}
+}
+
+func TestFleetSortedWorstFirst(t *testing.T) {
+	tr := NewTracker()
+	tr.Record(Observation{Main: CoreID{0, 0}, Checker: CoreID{0, 1}, Insts: 1e6, Detected: true})
+	tr.Record(Observation{Main: CoreID{0, 2}, Checker: CoreID{0, 3}, Insts: 1e6})
+	fleet := tr.Fleet(DefaultPolicy())
+	if len(fleet) != 4 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	for i := 1; i < len(fleet); i++ {
+		if fleet[i].RatePPB > fleet[i-1].RatePPB {
+			t.Error("fleet not sorted by descending rate")
+		}
+	}
+}
+
+func TestErrorRateUnits(t *testing.T) {
+	tr := NewTracker()
+	c := CoreID{0, 0}
+	tr.Record(Observation{Main: c, Checker: CoreID{0, 1}, Insts: 1e9, Detected: true})
+	if got := tr.ErrorRate(c); got != 1 {
+		t.Errorf("rate = %v per 1e9 insts, want 1", got)
+	}
+	if tr.ErrorRate(CoreID{9, 9}) != 0 {
+		t.Error("unknown core rate != 0")
+	}
+}

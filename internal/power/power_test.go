@@ -1,0 +1,106 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVoltageCurve(t *testing.T) {
+	ce := X2Energy
+	if got := ce.VoltageAt(3.0); got != ce.VnomV {
+		t.Errorf("V(fmax) = %v, want Vnom", got)
+	}
+	if got := ce.VoltageAt(4.0); got != ce.VnomV {
+		t.Errorf("V above fmax = %v, want clamped to Vnom", got)
+	}
+	if got := ce.VoltageAt(0); got != ce.VminV {
+		t.Errorf("V(0) = %v, want Vmin", got)
+	}
+	mid := ce.VoltageAt(1.5)
+	if mid <= ce.VminV || mid >= ce.VnomV {
+		t.Errorf("V(1.5) = %v outside (Vmin, Vnom)", mid)
+	}
+}
+
+func TestDynamicEnergyScalesWithV2(t *testing.T) {
+	ce := X2Energy
+	full := ce.DynamicJ(1e9, 3.0)
+	half := ce.DynamicJ(1e9, 1.5)
+	wantRatio := math.Pow(ce.VoltageAt(1.5)/ce.VnomV, 2)
+	if got := half / full; math.Abs(got-wantRatio) > 1e-9 {
+		t.Errorf("dynamic ratio %v, want %v", got, wantRatio)
+	}
+	if full != 1e9*500e-12 {
+		t.Errorf("full dynamic = %v J, want 0.5 J", full)
+	}
+}
+
+func TestLittleCoreCheaperPerInstruction(t *testing.T) {
+	x2 := X2Energy.DynamicJ(1e6, 3.0)
+	a510 := A510Energy.DynamicJ(1e6, 2.0)
+	a35 := A35Energy.DynamicJ(1e6, 1.0)
+	if !(a35 < a510 && a510 < x2) {
+		t.Errorf("EPI ordering broken: A35 %v, A510 %v, X2 %v", a35, a510, x2)
+	}
+}
+
+func TestStaticEnergy(t *testing.T) {
+	j := X2Energy.StaticJ(2.0, 3.0)
+	if math.Abs(j-1.1) > 1e-9 { // 550mW * 2s
+		t.Errorf("static = %v J, want 1.1", j)
+	}
+	if X2Energy.StaticJ(2.0, 1.5) >= j {
+		t.Error("static energy did not fall with voltage")
+	}
+}
+
+func TestMinimiseED2P(t *testing.T) {
+	// Energy falls with f², delay rises with 1/f: ED2P = k/f²·(1/f²)...
+	// pick a synthetic eval with a known interior optimum.
+	eval := func(f float64) (float64, float64) {
+		e := f * f     // energy grows with frequency
+		d := 1/f + 0.5 // delay shrinks with frequency
+		return e, d
+	}
+	freqs := []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+	bestF, bestE, bestD := MinimiseED2P(freqs, eval)
+	bestM := ED2P(bestE, bestD)
+	for _, f := range freqs {
+		e, d := eval(f)
+		if ED2P(e, d) < bestM-1e-12 {
+			t.Errorf("MinimiseED2P missed better frequency %v", f)
+		}
+	}
+	if bestF == 0 {
+		t.Error("no frequency selected")
+	}
+}
+
+func TestDedicatedAreaOverhead(t *testing.T) {
+	got := DedicatedAreaOverhead(16, AreaA35MM2, AreaX2MM2)
+	if math.Abs(got-0.3457) > 0.005 {
+		t.Errorf("16xA35 area overhead = %.4f, want ~0.346 (the paper's 35%%)", got)
+	}
+}
+
+func TestStorageOverheadMatchesPaper(t *testing.T) {
+	// X2: 85-entry LQ, 90-entry SQ, 64KiB/64B = 1024 L1D lines.
+	s := NewStorageOverhead(85, 90, 1024)
+	got := s.TotalBytes()
+	// The paper reports 1064B per core.
+	if got < 1050 || got > 1080 {
+		t.Errorf("storage overhead = %dB, want ~1064B", got)
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	for _, name := range []string{"X2", "A510", "A35"} {
+		ce, err := ModelFor(name)
+		if err != nil || ce.Name != name {
+			t.Errorf("ModelFor(%q) = %+v, %v", name, ce, err)
+		}
+	}
+	if _, err := ModelFor("M1"); err == nil {
+		t.Error("want error for unknown core")
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean = %v, want 4", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean != 0")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("geomean of negative input must be NaN")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(math.Abs(x), 1e6)+0.001)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		min, max := MinMax(xs)
+		return g >= min*(1-1e-12) && g <= max*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Error("mean wrong")
+	}
+	min, max := MinMax(xs)
+	if min != 1 || max != 3 {
+		t.Error("minmax wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// Must not mutate the input.
+	if xs[0] != 1 || xs[9] != 10 {
+		t.Error("percentile sorted the caller's slice")
+	}
+}
+
+func TestSlowdownPct(t *testing.T) {
+	if got := SlowdownPct(1.034); math.Abs(got-3.4) > 1e-9 {
+		t.Errorf("SlowdownPct = %v", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Row("short", 1.5)
+	tab.Row("a-much-longer-name", "x")
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator not aligned with header")
+	}
+	if !strings.Contains(s, "1.50") {
+		t.Error("float not formatted with 2 decimals")
+	}
+}

@@ -1,0 +1,171 @@
+package gap
+
+import (
+	"math"
+	"testing"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+func testGraphs(t *testing.T) map[string]*Graph {
+	t.Helper()
+	gs := map[string]*Graph{
+		"uniform": Uniform(300, 8, 42),
+		"kron":    Kronecker(8, 8, 7),
+	}
+	for name, g := range gs {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	return gs
+}
+
+// runToHalt executes the program and returns its memory.
+func runToHalt(t *testing.T, prog *isa.Program, limit int64) *emu.Memory {
+	t.Helper()
+	m, err := emu.NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(limit, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Harts[0].Halted {
+		t.Fatal("kernel did not halt within budget")
+	}
+	return m.Mem
+}
+
+func readWords(m *emu.Memory, base uint64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		v, _ := m.Load(base+uint64(i*8), 8)
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func readFloats(m *emu.Memory, base uint64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v, _ := m.Load(base+uint64(i*8), 8)
+		out[i] = math.Float64frombits(v)
+	}
+	return out
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, parOff := BFS(g, 0)
+		mem := runToHalt(t, prog, 50_000_000)
+		got := readWords(mem, isa.DefaultDataBase+parOff, g.N)
+		want := RefBFS(g, 0)
+		for v := range want {
+			// Parent arrays can differ in ties only if visit order
+			// differs; the kernel mirrors the reference exactly.
+			if got[v] != want[v] {
+				t.Fatalf("%s: parent[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPageRankMatchesReferenceBitExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, scoreOff := PageRank(g, 5)
+		mem := runToHalt(t, prog, 100_000_000)
+		got := readFloats(mem, isa.DefaultDataBase+scoreOff, g.N)
+		want := RefPageRank(g, 5)
+		var sum float64
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: score[%d] = %v, want %v (bit-exact)", name, v, got[v], want[v])
+			}
+			sum += got[v]
+		}
+		if sum < 0.5 || sum > 1.5 {
+			t.Errorf("%s: scores sum to %v, want ~1", name, sum)
+		}
+	}
+}
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, distOff := SSSP(g, 0)
+		mem := runToHalt(t, prog, 200_000_000)
+		got := readWords(mem, isa.DefaultDataBase+distOff, g.N)
+		want := RefSSSP(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, compOff := CC(g)
+		mem := runToHalt(t, prog, 200_000_000)
+		got := readWords(mem, isa.DefaultDataBase+compOff, g.N)
+		want := RefCC(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: comp[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestTCMatchesReference(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, outOff := TC(g)
+		mem := runToHalt(t, prog, 500_000_000)
+		got := readWords(mem, isa.DefaultDataBase+outOff, 1)[0]
+		want := RefTC(g)
+		if got != want {
+			t.Fatalf("%s: triangles = %d, want %d", name, got, want)
+		}
+		if name == "kron" && want == 0 {
+			t.Error("kron graph has no triangles; generator too sparse")
+		}
+	}
+}
+
+func TestBCMatchesReferenceBitExact(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		prog, deltaOff := BC(g, 0)
+		mem := runToHalt(t, prog, 200_000_000)
+		got := readFloats(mem, isa.DefaultDataBase+deltaOff, g.N)
+		want := RefBC(g, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: delta[%d] = %v, want %v", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestKroneckerIsSkewed(t *testing.T) {
+	g := Kronecker(10, 8, 3)
+	var maxDeg int64
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.M()) / float64(g.N)
+	if float64(maxDeg) < 8*avg {
+		t.Errorf("max degree %d not >> average %.1f; not power-law-ish", maxDeg, avg)
+	}
+}
+
+func TestGraphValidateCatchesCorruption(t *testing.T) {
+	g := Uniform(50, 4, 1)
+	g.Edges[0] = int64(g.N) + 5
+	if err := g.Validate(); err == nil {
+		t.Error("out-of-range edge not caught")
+	}
+}

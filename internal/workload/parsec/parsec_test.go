@@ -1,0 +1,150 @@
+package parsec
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// run executes a two-hart kernel to completion with fine interleaving.
+func run(t *testing.T, prog *isa.Program) *emu.Machine {
+	t.Helper()
+	m, err := emu.NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Quantum = 17 // odd quantum: non-trivial interleaving
+	if _, err := m.Run(500_000_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range m.Harts {
+		if !h.Halted {
+			t.Fatalf("hart %d did not halt", i)
+		}
+	}
+	return m
+}
+
+func loadF64(m *emu.Machine, addr uint64) float64 {
+	v, _ := m.Mem.Load(addr, 8)
+	return math.Float64frombits(v)
+}
+
+func TestKernelsBuildAndComplete(t *testing.T) {
+	for _, k := range Kernels(256) {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if err := k.Prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(k.Prog.Entries) != 2 {
+				t.Fatalf("%d entries, want 2 threads", len(k.Prog.Entries))
+			}
+			run(t, k.Prog)
+		})
+	}
+}
+
+func TestBlackscholesMatchesReference(t *testing.T) {
+	const n = 100
+	prog := Blackscholes(n)
+	m := run(t, prog)
+	want := RefBlackscholes(n)
+	// The out symbol is after the 2n-spot input array.
+	outBase := prog.DataBase + uint64(2*n*8)
+	for i := range want {
+		got := loadF64(m, outBase+uint64(i*8))
+		if got != want[i] {
+			t.Fatalf("price[%d] = %v, want %v (bit-exact)", i, got, want[i])
+		}
+	}
+}
+
+func TestSwaptionsUsesNonRepeatables(t *testing.T) {
+	prog := Swaptions(50)
+	var rands int
+	m, err := emu.NewMachine(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(10_000_000, func(_ int, e *emu.Effect) error {
+		if e.NonRepeat {
+			rands++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rands != 100 {
+		t.Errorf("RAND count %d, want 100 (50 paths x 2 threads)", rands)
+	}
+}
+
+func TestFluidBarrierSynchronises(t *testing.T) {
+	// With a barrier each iteration, the final grid is deterministic
+	// regardless of interleaving quantum.
+	sum := func(quantum int) float64 {
+		prog := Fluidanimate(16, 4)
+		m, err := emu.NewMachine(prog, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Quantum = quantum
+		if _, err := m.Run(500_000_000, nil); err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := 0; i < 16*16; i++ {
+			s += loadF64(m, prog.DataBase+uint64(i*8))
+		}
+		return s
+	}
+	a, b := sum(1), sum(997)
+	if a != b {
+		t.Errorf("grid sum differs across interleavings: %v vs %v", a, b)
+	}
+}
+
+func TestCannealPreservesMultiset(t *testing.T) {
+	const n = 256
+	prog := Canneal(n, 500)
+	m := run(t, prog)
+	got := make([]uint64, n)
+	for i := range got {
+		got[i], _ = m.Mem.Load(prog.DataBase+uint64(i*8), 8)
+	}
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = uint64(i*7 + 1)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("multiset not preserved at rank %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDedupProducerConsumerAgree(t *testing.T) {
+	const chunks = 300
+	prog := Dedup(chunks)
+	m := run(t, prog)
+	// sums symbol: after ring buf (64*8) and flags (64*8).
+	base := prog.DataBase + 64*8 + 64*8
+	pSum, _ := m.Mem.Load(base, 8)
+	cSum, _ := m.Mem.Load(base+8, 8)
+	if pSum == 0 || pSum != cSum {
+		t.Errorf("producer sum %d, consumer sum %d", pSum, cSum)
+	}
+	var want uint64
+	for i := uint64(0); i < chunks; i++ {
+		want += (i * i) ^ 0x5A5
+	}
+	if pSum != want {
+		t.Errorf("producer sum %d, want %d", pSum, want)
+	}
+}

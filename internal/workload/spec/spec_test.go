@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"testing"
+
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+func TestAllProfilesBuildAndRun(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := p.Build(200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			n, err := emu.RunProgram(prog, 1_000_000, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < 1000 {
+				t.Errorf("only %d instructions executed", n)
+			}
+		})
+	}
+}
+
+func TestProfilesDeterministic(t *testing.T) {
+	p, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.MustBuild(50)
+	b := p.MustBuild(50)
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatal("non-deterministic code size")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("bwaves"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("doom"); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+	if len(Names()) != 20 {
+		t.Errorf("%d benchmarks, want 20 (SPECspeed 2017)", len(Names()))
+	}
+}
+
+// classCounts runs the benchmark and tallies instruction classes.
+func classCounts(t *testing.T, name string, limit int64) map[isa.Class]int64 {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := p.MustBuild(1 << 30)
+	counts := make(map[isa.Class]int64)
+	if _, err := emu.RunProgram(prog, limit, func(_ int, e *emu.Effect) error {
+		counts[e.Class]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+func TestBwavesIsFdivHeavy(t *testing.T) {
+	bw := classCounts(t, "bwaves", 100_000)
+	gcc := classCounts(t, "gcc", 100_000)
+	bwFdiv := float64(bw[isa.ClassFPDiv]) / 100_000
+	gccFdiv := float64(gcc[isa.ClassFPDiv]) / 100_000
+	if bwFdiv < 0.02 {
+		t.Errorf("bwaves fdiv fraction %.4f too low", bwFdiv)
+	}
+	if gccFdiv > bwFdiv/10 {
+		t.Errorf("gcc fdiv fraction %.4f not << bwaves %.4f", gccFdiv, bwFdiv)
+	}
+}
+
+func TestIntBenchmarksHaveNoFP(t *testing.T) {
+	for _, name := range []string{"mcf", "exchange2", "xz"} {
+		c := classCounts(t, name, 50_000)
+		fp := c[isa.ClassFPAdd] + c[isa.ClassFPMul] + c[isa.ClassFPDiv]
+		// The prologue converts a few constants; beyond that, none.
+		if fp > 20 {
+			t.Errorf("%s: %d FP instructions", name, fp)
+		}
+	}
+}
+
+// ipcOn measures IPC of a benchmark on a core model.
+func ipcOn(t *testing.T, name string, cfg cpu.Config, freq float64, limit int64) float64 {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := p.MustBuild(1 << 30)
+	core := cpu.MustNewCore(cfg, freq, cpu.ModeMain)
+	if _, err := emu.RunProgram(prog, limit, func(_ int, e *emu.Effect) error {
+		core.Consume(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return core.IPC()
+}
+
+func TestComputeBoundFasterThanMemoryBound(t *testing.T) {
+	exch := ipcOn(t, "exchange2", cpu.X2(), 3.0, 200_000)
+	mcf := ipcOn(t, "mcf", cpu.X2(), 3.0, 200_000)
+	if exch < 2*mcf {
+		t.Errorf("exchange2 IPC %.2f not >> mcf IPC %.2f", exch, mcf)
+	}
+}
+
+func TestGccStressesICache(t *testing.T) {
+	p, _ := ByName("gcc")
+	prog := p.MustBuild(1 << 30)
+	core := cpu.MustNewCore(cpu.X2(), 3.0, cpu.ModeMain)
+	if _, err := emu.RunProgram(prog, 200_000, func(_ int, e *emu.Effect) error {
+		core.Consume(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rate := core.Hier.L1I.Stats.MissRate(); rate < 0.01 {
+		t.Errorf("gcc L1I miss rate %.4f too low for an icache-hungry benchmark", rate)
+	}
+
+	// exchange2's tiny code footprint should hit nearly always.
+	p2, _ := ByName("exchange2")
+	prog2 := p2.MustBuild(1 << 30)
+	core2 := cpu.MustNewCore(cpu.X2(), 3.0, cpu.ModeMain)
+	if _, err := emu.RunProgram(prog2, 200_000, func(_ int, e *emu.Effect) error {
+		core2.Consume(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r1, r2 := core.Hier.L1I.Stats.MissRate(), core2.Hier.L1I.Stats.MissRate(); r2 > r1/2 {
+		t.Errorf("exchange2 L1I miss rate %.4f not << gcc %.4f", r2, r1)
+	}
+}
+
+func TestBadProfilesRejected(t *testing.T) {
+	p := Profile{Name: "bad", WorkingSet: 5000, Blocks: 1, OpsPerBlock: 1}
+	if _, err := p.Build(10); err == nil {
+		t.Error("want error for non-power-of-two working set")
+	}
+	p2 := Profile{Name: "bad2", WorkingSet: 4096}
+	if _, err := p2.Build(10); err == nil {
+		t.Error("want error for zero blocks")
+	}
+}

@@ -1,0 +1,235 @@
+// Package paraverser is the public API of the ParaVerser reproduction:
+// heterogeneous parallel error detection for server processors (Liao et
+// al., DSN 2025). It exposes system configuration (main cores, checker
+// pools, operating modes, NoC), the workload suites used in the paper's
+// evaluation (synthetic SPECspeed 2017, GAP graph kernels, PARSEC-style
+// parallel kernels), fault injection, and the runner that couples
+// everything together.
+//
+// A minimal session:
+//
+//	cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 4))
+//	w, _ := paraverser.SPECWorkload("bwaves", 200_000)
+//	res, _ := paraverser.Run(cfg, []paraverser.Workload{w})
+//	fmt.Println(res.Lanes[0].TimeNS, res.Lanes[0].Coverage())
+//
+// The heavy lifting lives in internal packages: internal/core is the
+// paper's contribution (LSL$, LSPU, RCU, LSC, speculative indexed
+// checking, modes); internal/cpu, internal/cachesim, internal/noc,
+// internal/dram, internal/branch and internal/power are the simulated
+// substrates; internal/workload holds the suites; internal/lockstep the
+// prior-work baselines.
+package paraverser
+
+import (
+	"fmt"
+
+	"paraverser/internal/core"
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+	"paraverser/internal/fault"
+	"paraverser/internal/isa"
+	"paraverser/internal/lockstep"
+	"paraverser/internal/maintenance"
+	"paraverser/internal/noc"
+	"paraverser/internal/workload/gap"
+	"paraverser/internal/workload/parsec"
+	"paraverser/internal/workload/spec"
+)
+
+// Re-exported system types. See the internal/core documentation for the
+// full semantics.
+type (
+	// Config describes a complete ParaVerser system.
+	Config = core.Config
+	// CheckerSpec is one group of identical checker cores per main core.
+	CheckerSpec = core.CheckerSpec
+	// Workload is a program to run under the system.
+	Workload = core.Workload
+	// Result is a finished run.
+	Result = core.Result
+	// LaneResult is one main core's outcome.
+	LaneResult = core.LaneResult
+	// EnergyReport is the section VII-E energy accounting.
+	EnergyReport = core.EnergyReport
+	// Mode selects full-coverage or opportunistic operation.
+	Mode = core.Mode
+	// CoreConfig is a core timing model (X2, A510, A35 presets).
+	CoreConfig = cpu.Config
+	// NoCConfig describes the mesh fabric.
+	NoCConfig = noc.Config
+	// Fault describes an injected hardware fault.
+	Fault = fault.Fault
+	// Program is a program in the repo ISA.
+	Program = isa.Program
+
+	// MaintenanceTracker accumulates detections per core for the
+	// predictive-maintenance use case (section I).
+	MaintenanceTracker = maintenance.Tracker
+	// MaintenancePolicy sets retirement thresholds.
+	MaintenancePolicy = maintenance.Policy
+	// MaintenanceObservation is one checked segment's outcome.
+	MaintenanceObservation = maintenance.Observation
+	// CoreID identifies a physical core in a fleet.
+	CoreID = maintenance.CoreID
+)
+
+// Operating modes.
+const (
+	ModeFullCoverage  = core.ModeFullCoverage
+	ModeOpportunistic = core.ModeOpportunistic
+)
+
+// Core model presets from Table I.
+func X2() CoreConfig   { return cpu.X2() }
+func A510() CoreConfig { return cpu.A510() }
+func A35() CoreConfig  { return cpu.A35() }
+
+// NoC presets from Table I.
+func FastNoC() NoCConfig { return noc.Fast() }
+func SlowNoC() NoCConfig { return noc.Slow() }
+
+// Checkers builds a checker-pool spec: count cores of the given model at
+// freqGHz serving each main core.
+func Checkers(model CoreConfig, freqGHz float64, count int) CheckerSpec {
+	return CheckerSpec{CPU: model, FreqGHz: freqGHz, Count: count}
+}
+
+// DefaultConfig returns a full-coverage system with Table I parameters
+// and the given checker pool.
+func DefaultConfig(checkers ...CheckerSpec) Config {
+	return core.DefaultConfig(checkers...)
+}
+
+// BaselineConfig returns the no-checking baseline system.
+func BaselineConfig() Config {
+	cfg := core.DefaultConfig()
+	cfg.Checkers = nil
+	return cfg
+}
+
+// Prior-work comparison systems (section VII-A).
+func DSN18Config() Config   { return lockstep.DSN18() }
+func ParaDoxConfig() Config { return lockstep.ParaDox() }
+func DCLSConfig() Config    { return lockstep.DCLS() }
+
+// Run executes workloads under the configuration.
+func Run(cfg Config, workloads []Workload) (*Result, error) {
+	return core.Run(cfg, workloads)
+}
+
+// Energy computes the energy report for a finished run.
+func Energy(cfg Config, res *Result) (EnergyReport, error) {
+	return core.Energy(cfg, res)
+}
+
+// StorageOverheadBytes returns the per-core storage cost of the
+// ParaVerser units (1064B on the X2 model).
+func StorageOverheadBytes(cfg Config) int {
+	return core.StorageOverheadBytes(cfg)
+}
+
+// --- workloads ---
+
+// SPECBenchmarks lists the 20 synthetic SPECspeed 2017 models.
+func SPECBenchmarks() []string { return spec.Names() }
+
+// SPECWorkload builds a synthetic SPEC benchmark bounded to maxInsts
+// instructions (0 = a large default).
+func SPECWorkload(name string, maxInsts int64) (Workload, error) {
+	p, err := spec.ByName(name)
+	if err != nil {
+		return Workload{}, err
+	}
+	prog, err := p.Build(1 << 40)
+	if err != nil {
+		return Workload{}, err
+	}
+	if maxInsts == 0 {
+		maxInsts = 1_000_000
+	}
+	return Workload{Name: name, Prog: prog, MaxInsts: maxInsts}, nil
+}
+
+// GAPKernels lists the graph kernels.
+func GAPKernels() []string {
+	return []string{"bfs", "pr", "sssp", "cc", "tc", "bc"}
+}
+
+// GAPWorkload builds a GAP kernel over a Kronecker graph of the given
+// scale (2^scale vertices).
+func GAPWorkload(kernel string, scale, edgeFactor int, maxInsts int64) (Workload, error) {
+	g := gap.Kronecker(scale, edgeFactor, 1)
+	var prog *isa.Program
+	switch kernel {
+	case "bfs":
+		prog, _ = gap.BFS(g, 0)
+	case "pr":
+		prog, _ = gap.PageRank(g, 3)
+	case "sssp":
+		prog, _ = gap.SSSP(g, 0)
+	case "cc":
+		prog, _ = gap.CC(g)
+	case "tc":
+		prog, _ = gap.TC(g)
+	case "bc":
+		prog, _ = gap.BC(g, 0)
+	default:
+		return Workload{}, fmt.Errorf("paraverser: unknown GAP kernel %q", kernel)
+	}
+	return Workload{Name: "gap." + kernel, Prog: prog, MaxInsts: maxInsts}, nil
+}
+
+// ParsecKernels lists the parallel kernels.
+func ParsecKernels() []string {
+	ks := parsec.Kernels(64)
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// ParsecWorkload builds a two-thread PARSEC-style kernel at the given
+// scale.
+func ParsecWorkload(name string, scale int, maxInsts int64) (Workload, error) {
+	for _, k := range parsec.Kernels(scale) {
+		if k.Name == name {
+			return Workload{Name: k.Name, Prog: k.Prog, MaxInsts: maxInsts}, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("paraverser: unknown PARSEC kernel %q", name)
+}
+
+// NewMaintenanceTracker returns an empty fleet tracker.
+func NewMaintenanceTracker() *MaintenanceTracker { return maintenance.NewTracker() }
+
+// DefaultMaintenancePolicy returns conservative retirement thresholds.
+func DefaultMaintenancePolicy() MaintenancePolicy { return maintenance.DefaultPolicy() }
+
+// FaultCampaign generates n random hard faults over the given core's
+// functional units (the fig. 8 methodology).
+func FaultCampaign(seed int64, n int, model CoreConfig) []Fault {
+	fu := make(map[isa.Class]int, len(model.FUs))
+	for class, pool := range model.FUs {
+		fu[class] = pool.Count
+	}
+	return fault.Campaign(seed, n, fu)
+}
+
+// InjectOnChecker wires one fault into a specific checker core of every
+// lane (the paper injects on the checker so the main run is undisturbed;
+// detection is symmetrical).
+func InjectOnChecker(cfg *Config, f Fault, checkerID int) error {
+	inj, err := fault.NewInjector(f)
+	if err != nil {
+		return err
+	}
+	cfg.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
+		if ckID == checkerID {
+			return inj
+		}
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package paraverser_test
+
+import (
+	"testing"
+
+	"paraverser"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 2))
+	w, err := paraverser.SPECWorkload("leela", 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paraverser.Run(cfg, []paraverser.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Insts != 40_000 {
+		t.Errorf("insts = %d, want 40000", lane.Insts)
+	}
+	if lane.Detections != 0 {
+		t.Errorf("fault-free run detected %d errors", lane.Detections)
+	}
+	if lane.Coverage() != 1.0 {
+		t.Errorf("full-coverage mode covered %.3f", lane.Coverage())
+	}
+	rep, err := paraverser.Energy(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead <= 0 || rep.Overhead > 1.5 {
+		t.Errorf("energy overhead %.2f implausible", rep.Overhead)
+	}
+	if got := paraverser.StorageOverheadBytes(cfg); got < 1000 || got > 1100 {
+		t.Errorf("storage overhead %dB", got)
+	}
+}
+
+func TestPublicAPIWorkloadCatalogues(t *testing.T) {
+	if got := len(paraverser.SPECBenchmarks()); got != 20 {
+		t.Errorf("%d SPEC benchmarks, want 20", got)
+	}
+	if got := len(paraverser.GAPKernels()); got != 6 {
+		t.Errorf("%d GAP kernels, want 6", got)
+	}
+	if got := len(paraverser.ParsecKernels()); got != 6 {
+		t.Errorf("%d PARSEC kernels, want 6", got)
+	}
+	for _, k := range paraverser.GAPKernels() {
+		if _, err := paraverser.GAPWorkload(k, 7, 4, 10_000); err != nil {
+			t.Errorf("GAP %s: %v", k, err)
+		}
+	}
+	for _, k := range paraverser.ParsecKernels() {
+		if _, err := paraverser.ParsecWorkload(k, 64, 10_000); err != nil {
+			t.Errorf("PARSEC %s: %v", k, err)
+		}
+	}
+	if _, err := paraverser.SPECWorkload("doom", 0); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := paraverser.GAPWorkload("dijkstra", 7, 4, 0); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := paraverser.ParsecWorkload("vips", 64, 0); err == nil {
+		t.Error("unknown parallel kernel accepted")
+	}
+}
+
+func TestPublicAPIFaultInjection(t *testing.T) {
+	faults := paraverser.FaultCampaign(7, 30, paraverser.X2())
+	if len(faults) != 30 {
+		t.Fatalf("campaign size %d", len(faults))
+	}
+	cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 2))
+	if err := paraverser.InjectOnChecker(&cfg, faults[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CheckerInterceptor == nil {
+		t.Fatal("interceptor not wired")
+	}
+	if cfg.CheckerInterceptor(0, 0) == nil {
+		t.Error("checker 0 has no injector")
+	}
+	if cfg.CheckerInterceptor(0, 1) != nil {
+		t.Error("checker 1 unexpectedly has an injector")
+	}
+	bad := paraverser.Fault{}
+	if err := paraverser.InjectOnChecker(&cfg, bad, 0); err == nil {
+		t.Error("invalid fault accepted")
+	}
+}
+
+func TestPriorWorkConfigs(t *testing.T) {
+	for _, cfg := range []paraverser.Config{
+		paraverser.DSN18Config(), paraverser.ParaDoxConfig(), paraverser.DCLSConfig(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if len(paraverser.DSN18Config().Checkers) == 0 {
+		t.Error("DSN18 config has no checkers")
+	}
+	if n := paraverser.ParaDoxConfig().Checkers[0].Count; n != 16 {
+		t.Errorf("ParaDox checker count %d, want 16", n)
+	}
+	if paraverser.DSN18Config().Checkers[0].Count != 12 {
+		t.Error("DSN18 checker count != 12")
+	}
+}
