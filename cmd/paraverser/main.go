@@ -35,9 +35,12 @@ func run(args []string) int {
 	warmup := fs.Int64("warmup", 0, "override warmup instructions per benchmark")
 	benches := fs.String("benchmarks", "", "comma-separated SPEC subset (default: all 20)")
 	trials := fs.Int("fault-trials", 0, "override fig. 8 fault injections per benchmark")
+	seed := fs.Int64("seed", 1, "base seed for the fault-injection campaign (reproducible verdict tables)")
+	campaignTrials := fs.Int("campaign-trials", 0, "override campaign trial count (default: 4x fault-trials)")
+	campaignWorkers := fs.Int("campaign-workers", 0, "concurrent campaign trials (0 = GOMAXPROCS)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
-		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation all\n")
+		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign all\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,11 +70,12 @@ func run(args []string) int {
 
 	names := fs.Args()
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation"}
+		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign"}
 	}
+	camp := campaignOpts{seed: *seed, trials: *campaignTrials, workers: *campaignWorkers}
 	for _, name := range names {
 		start := time.Now()
-		if err := runExperiment(name, sc); err != nil {
+		if err := runExperiment(name, sc, camp); err != nil {
 			fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, err)
 			return 1
 		}
@@ -80,8 +84,23 @@ func run(args []string) int {
 	return 0
 }
 
-func runExperiment(name string, sc experiments.Scale) error {
+// campaignOpts carries the campaign subcommand's knobs.
+type campaignOpts struct {
+	seed    int64
+	trials  int
+	workers int
+}
+
+func runExperiment(name string, sc experiments.Scale, camp campaignOpts) error {
 	switch name {
+	case "campaign":
+		r, err := experiments.Campaign(sc, camp.seed, camp.trials, camp.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fault-injection campaign: %d trials, seed %d\n\n", len(r.Trials), camp.seed)
+		fmt.Println(r.TrialTable())
+		fmt.Println(r.Table())
 	case "table1":
 		fmt.Println(experiments.Table1())
 	case "area":

@@ -39,12 +39,22 @@ func TestExperimentDispatchCoversAll(t *testing.T) {
 	// against the cheap ones; simulation-heavy ones covered above and in
 	// the experiments package).
 	sc := experiments.Quick()
+	camp := campaignOpts{seed: 1}
 	for _, name := range []string{"table1", "area"} {
-		if err := runExperiment(name, sc); err != nil {
+		if err := runExperiment(name, sc, camp); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if err := runExperiment("nope", sc); err == nil {
+	if err := runExperiment("nope", sc, camp); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunTinyCampaign(t *testing.T) {
+	code := run([]string{
+		"-quick", "-seed", "7", "-campaign-trials", "4", "campaign",
+	})
+	if code != 0 {
+		t.Errorf("tiny campaign: exit %d", code)
 	}
 }

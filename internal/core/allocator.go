@@ -7,6 +7,42 @@ import (
 	"paraverser/internal/noc"
 )
 
+// CheckerState is a checker core's standing in the allocation pool. The
+// error-recovery layer (recovery.go) moves checkers between states:
+// implicated checkers are quarantined, cooled-down checkers shadow-check
+// on probation, and persistent offenders are retired for good.
+type CheckerState uint8
+
+// Checker states. Enums start at one.
+const (
+	CheckerStateInvalid CheckerState = iota
+	// CheckerActive: in the allocation pool, serving primary checks.
+	CheckerActive
+	// CheckerQuarantined: removed from the pool after being implicated;
+	// re-enters on probation once its cool-down elapses.
+	CheckerQuarantined
+	// CheckerProbation: shadow-checks segments already verified by a
+	// healthy checker; readmitted after enough consecutive clean checks.
+	CheckerProbation
+	// CheckerRetired: permanently removed after repeated offenses.
+	CheckerRetired
+)
+
+func (s CheckerState) String() string {
+	switch s {
+	case CheckerActive:
+		return "active"
+	case CheckerQuarantined:
+		return "quarantined"
+	case CheckerProbation:
+		return "probation"
+	case CheckerRetired:
+		return "retired"
+	default:
+		return "invalid"
+	}
+}
+
 // Checker is one core currently serving checker duty for a main core: its
 // persistent timing model (caches and predictor state carry across
 // segments), its DVFS point, its mesh position, and its availability.
@@ -23,6 +59,18 @@ type Checker struct {
 	Insts    uint64
 	Segments int
 
+	// State is the checker's standing in the pool. NewAllocator admits
+	// every checker as active.
+	State CheckerState
+	// ReentryNS is when a quarantined checker may begin probation.
+	ReentryNS float64
+	// Offenses counts quarantines; the cool-down doubles per offense
+	// (the exponential-backoff re-test schedule).
+	Offenses int
+	// ProbationClean counts consecutive clean shadow checks since the
+	// checker entered probation.
+	ProbationClean int
+
 	// sizeRank orders allocation preference: smaller, lower-frequency
 	// cores first (section IV-A: "Preference for allocation as checker
 	// cores is given to idle cores, and lower-performance cores if
@@ -30,9 +78,24 @@ type Checker struct {
 	sizeRank float64
 }
 
+// QuarantinePolicy governs how implicated checkers leave and re-enter
+// the pool.
+type QuarantinePolicy struct {
+	// CooldownNS is the base quarantine duration; it doubles with each
+	// offense (exponential-backoff re-testing).
+	CooldownNS float64
+	// ProbationChecks is how many consecutive clean shadow checks a
+	// probation checker needs before readmission.
+	ProbationChecks int
+	// MaxOffenses retires a checker permanently once exceeded.
+	MaxOffenses int
+}
+
 // Allocator manages one main core's checker pool.
 type Allocator struct {
 	checkers []*Checker
+	// rotate is the rotating-partner cursor for re-replay selection.
+	rotate int
 }
 
 // NewAllocator builds a pool.
@@ -46,16 +109,30 @@ func NewAllocator(checkers []*Checker) (*Allocator, error) {
 		if cfg.OoO {
 			c.sizeRank *= 2
 		}
+		c.State = CheckerActive
 	}
 	return &Allocator{checkers: checkers}, nil
 }
 
-// AcquireFree returns an idle checker at nowNS, preferring
-// lower-performance cores, or nil when every checker is busy.
+// refresh promotes quarantined checkers whose cool-down elapsed to
+// probation. Called from every pool query so re-entry happens at the
+// scheduled time without a separate event queue.
+func (a *Allocator) refresh(nowNS float64) {
+	for _, c := range a.checkers {
+		if c.State == CheckerQuarantined && nowNS >= c.ReentryNS {
+			c.State = CheckerProbation
+			c.ProbationClean = 0
+		}
+	}
+}
+
+// AcquireFree returns an idle active checker at nowNS, preferring
+// lower-performance cores, or nil when every active checker is busy.
 func (a *Allocator) AcquireFree(nowNS float64) *Checker {
+	a.refresh(nowNS)
 	var best *Checker
 	for _, c := range a.checkers {
-		if c.FreeAtNS > nowNS {
+		if c.State != CheckerActive || c.FreeAtNS > nowNS {
 			continue
 		}
 		if best == nil || c.sizeRank < best.sizeRank ||
@@ -66,16 +143,105 @@ func (a *Allocator) AcquireFree(nowNS float64) *Checker {
 	return best
 }
 
-// EarliestFree returns the checker that frees up first (used by
-// full-coverage mode to decide how long the main core must stall).
+// EarliestFree returns the active checker that frees up first (used by
+// full-coverage mode to decide how long the main core must stall), or
+// nil when quarantine has emptied the active pool — the caller must then
+// degrade rather than stall forever.
 func (a *Allocator) EarliestFree() *Checker {
-	best := a.checkers[0]
-	for _, c := range a.checkers[1:] {
-		if c.FreeAtNS < best.FreeAtNS {
+	var best *Checker
+	for _, c := range a.checkers {
+		if c.State != CheckerActive {
+			continue
+		}
+		if best == nil || c.FreeAtNS < best.FreeAtNS {
 			best = c
 		}
 	}
 	return best
+}
+
+// NextPartner returns the next active checker other than exclude under
+// rotating selection, or nil when no such checker exists. The partner
+// may still be busy; the replay simply waits for it.
+func (a *Allocator) NextPartner(exclude *Checker, nowNS float64) *Checker {
+	a.refresh(nowNS)
+	n := len(a.checkers)
+	for i := 0; i < n; i++ {
+		c := a.checkers[(a.rotate+i)%n]
+		if c == exclude || c.State != CheckerActive {
+			continue
+		}
+		a.rotate = (a.rotate + i + 1) % n
+		return c
+	}
+	return nil
+}
+
+// ProbationFree returns an idle probation checker at nowNS, or nil.
+func (a *Allocator) ProbationFree(nowNS float64) *Checker {
+	a.refresh(nowNS)
+	for _, c := range a.checkers {
+		if c.State == CheckerProbation && c.FreeAtNS <= nowNS {
+			return c
+		}
+	}
+	return nil
+}
+
+// Quarantine removes c from the pool. The cool-down doubles per offense;
+// past pol.MaxOffenses the checker is retired permanently. Reports
+// whether the checker was retired.
+func (a *Allocator) Quarantine(c *Checker, nowNS float64, pol QuarantinePolicy) bool {
+	c.Offenses++
+	c.ProbationClean = 0
+	if pol.MaxOffenses > 0 && c.Offenses > pol.MaxOffenses {
+		c.State = CheckerRetired
+		return true
+	}
+	backoff := c.Offenses - 1
+	if backoff > 20 {
+		backoff = 20 // cap the shift; beyond this the cool-down is effectively forever
+	}
+	c.State = CheckerQuarantined
+	c.ReentryNS = nowNS + pol.CooldownNS*float64(uint64(1)<<backoff)
+	return false
+}
+
+// NoteProbation records one shadow-check outcome for a probation
+// checker: enough consecutive clean checks readmit it; a failure sends
+// it back to quarantine with a doubled cool-down (or retires it).
+func (a *Allocator) NoteProbation(c *Checker, clean bool, nowNS float64, pol QuarantinePolicy) (readmitted, retired bool) {
+	if !clean {
+		return false, a.Quarantine(c, nowNS, pol)
+	}
+	c.ProbationClean++
+	if c.ProbationClean >= pol.ProbationChecks {
+		c.State = CheckerActive
+		return true, false
+	}
+	return false, false
+}
+
+// ActiveCount returns how many checkers are in the active pool.
+func (a *Allocator) ActiveCount() int {
+	n := 0
+	for _, c := range a.checkers {
+		if c.State == CheckerActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Impaired reports whether any checker is out of the active pool — the
+// signal to retain probation material and attempt re-tests.
+func (a *Allocator) Impaired() bool {
+	for _, c := range a.checkers {
+		if c.State != CheckerActive {
+			return true
+		}
+	}
+	return false
 }
 
 // Checkers exposes the pool for result collection.

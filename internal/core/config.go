@@ -51,6 +51,58 @@ type CheckerSpec struct {
 	Count   int
 }
 
+// RecoveryConfig controls the closed-loop error-recovery layer: on a
+// detection the orchestrator re-replays the failing segment on alternate
+// checkers, classifies the event with the forensics taxonomy (section V),
+// feeds a live maintenance tracker, and quarantines implicated checkers.
+type RecoveryConfig struct {
+	// Enabled turns the recovery pipeline on.
+	Enabled bool
+	// MaxReplays bounds re-replays on alternate checkers per detection
+	// (the retry budget; partners are chosen by rotation).
+	MaxReplays int
+	// ForensicRounds is how many repeat replays Investigate runs on the
+	// suspect checker to separate persistent from intermittent faults.
+	ForensicRounds int
+	// Quarantine governs pool removal, probation and retirement.
+	Quarantine QuarantinePolicy
+}
+
+// DefaultRecovery returns the recovery policy used by the campaign
+// engine: two alternate replays, three forensic rounds, a 50µs base
+// quarantine, three clean shadow checks to readmit, retirement after
+// three offenses.
+func DefaultRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		Enabled:        true,
+		MaxReplays:     2,
+		ForensicRounds: 3,
+		Quarantine: QuarantinePolicy{
+			CooldownNS:      50_000,
+			ProbationChecks: 3,
+			MaxOffenses:     3,
+		},
+	}
+}
+
+// Validate checks the recovery policy.
+func (r *RecoveryConfig) Validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	if r.MaxReplays < 0 {
+		return fmt.Errorf("core: negative recovery replay budget")
+	}
+	if r.ForensicRounds < 1 {
+		return fmt.Errorf("core: recovery needs at least one forensic round")
+	}
+	q := r.Quarantine
+	if q.CooldownNS <= 0 || q.ProbationChecks < 1 || q.MaxOffenses < 1 {
+		return fmt.Errorf("core: invalid quarantine policy %+v", q)
+	}
+	return nil
+}
+
 // Config describes a complete ParaVerser system for one experiment.
 type Config struct {
 	// Main is the main-core model; every lane (hart) gets one.
@@ -112,6 +164,10 @@ type Config struct {
 	// main run is undisturbed, section VII-B).
 	CheckerInterceptor func(laneID, checkerID int) emu.Interceptor
 
+	// Recovery configures the closed-loop error-recovery layer
+	// (re-replay, forensics, maintenance tracking, quarantine).
+	Recovery RecoveryConfig
+
 	// Seed randomises the workload's non-repeatable instruction streams.
 	Seed uint64
 }
@@ -172,6 +228,12 @@ func (c *Config) Validate() error {
 				return fmt.Errorf("core: checker %q frequency %.2f out of range", spec.CPU.Name, spec.FreqGHz)
 			}
 		}
+	}
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
+	if c.Recovery.Enabled && len(c.Checkers) == 0 {
+		return fmt.Errorf("core: recovery requires a checker pool")
 	}
 	if c.Layout == nil {
 		return fmt.Errorf("core: nil layout")

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"testing"
+
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// stuckAtInterceptor forces one output bit to 1 on every integer-ALU
+// result — a blunt hard fault that fires constantly, for exercising the
+// recovery path without importing internal/fault (which imports core).
+type stuckAtInterceptor struct {
+	bit   uint
+	fires int
+}
+
+func (f *stuckAtInterceptor) Result(_ isa.Inst, class isa.Class, _ bool, v uint64) uint64 {
+	if class != isa.ClassIntALU {
+		return v
+	}
+	f.fires++
+	return v | 1<<f.bit
+}
+
+func (f *stuckAtInterceptor) Address(_ isa.Inst, addr uint64) uint64 { return addr }
+
+// withCheckerFault wires a persistent stuck-at fault into checker ckID
+// of every lane.
+func withCheckerFault(cfg *Config, ckID int, bit uint) *stuckAtInterceptor {
+	intc := &stuckAtInterceptor{bit: bit}
+	cfg.CheckerInterceptor = func(_, id int) emu.Interceptor {
+		if id == ckID {
+			return intc
+		}
+		return nil
+	}
+	return intc
+}
+
+// TestRecoveryQuarantinesFaultyChecker is the acceptance scenario: one
+// hard-faulted checker out of four must (a) have its detections
+// re-replayed clean on healthy partners, (b) be quarantined, and (c)
+// leave the main-core run free of main-suspected verdicts, with full
+// coverage preserved by the remaining pool.
+func TestRecoveryQuarantinesFaultyChecker(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(4, 2.0))
+	cfg.Recovery = DefaultRecovery()
+	intc := withCheckerFault(&cfg, 0, 3)
+
+	res, err := Run(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(20000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	st := lane.Recovery
+
+	if intc.fires == 0 {
+		t.Fatal("fault never fired; test is vacuous")
+	}
+	if lane.Detections == 0 {
+		t.Fatal("persistent checker fault raised no detections")
+	}
+	if st.Events != lane.Detections {
+		t.Errorf("recovery handled %d of %d detections", st.Events, lane.Detections)
+	}
+	// Every flagged segment must re-verify clean on a healthy partner.
+	if st.ReplayedClean != st.Events {
+		t.Errorf("only %d/%d flagged segments re-verified clean elsewhere", st.ReplayedClean, st.Events)
+	}
+	if st.CheckerPersistent == 0 {
+		t.Errorf("no checker-persistent verdict: %+v", st)
+	}
+	if st.MainSuspected != 0 {
+		t.Errorf("%d main-core false implications", st.MainSuspected)
+	}
+	if st.Quarantines == 0 {
+		t.Error("faulty checker never quarantined")
+	}
+
+	faulty := res.CheckersByLane[0][0]
+	if faulty.State == CheckerActive {
+		t.Errorf("faulty checker ended %s with %d offenses, want out of pool", faulty.State, faulty.Offenses)
+	}
+	for _, ck := range res.CheckersByLane[0][1:] {
+		if ck.Offenses != 0 {
+			t.Errorf("healthy checker %d quarantined %d times", ck.ID, ck.Offenses)
+		}
+	}
+	// With three healthy checkers the pool never empties: no degraded
+	// window, coverage stays total.
+	if lane.DegradedSegments != 0 {
+		t.Errorf("pool of 3 healthy checkers degraded for %d segments", lane.DegradedSegments)
+	}
+	if got := lane.Coverage(); got != 1.0 {
+		t.Errorf("coverage %.3f, want 1.0", got)
+	}
+	// The detections are all attributable to the faulty checker's
+	// segments: recovery events carry its ID.
+	for _, ev := range lane.SampleRecoveries {
+		if ev.Checker != 0 {
+			t.Errorf("recovery event implicates checker %d, want 0", ev.Checker)
+		}
+		if ev.LatencyNS <= 0 || ev.LatencyInsts == 0 {
+			t.Errorf("recovery event missing latency metadata: %+v", ev)
+		}
+	}
+	if res.Maintenance == nil {
+		t.Fatal("no live maintenance tracker on result")
+	}
+	// The tracker saw the faulty pair implicated.
+	bad := laneCheckerID(&lane0Stub, &Checker{ID: 0})
+	if res.Maintenance.ErrorRate(bad) == 0 {
+		t.Error("maintenance tracker never implicated the faulty checker")
+	}
+}
+
+// lane0Stub lets tests compute the CoreID mapping for lane 0.
+var lane0Stub = lane{idx: 0}
+
+// TestPoolExhaustionDegradesInsteadOfDeadlocking runs full coverage with
+// a single faulty checker: once quarantined the active pool is empty,
+// and the lane must fall back to unchecked execution (accounted as a
+// degraded-coverage window) rather than stalling forever.
+func TestPoolExhaustionDegradesInsteadOfDeadlocking(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(1, 2.0))
+	cfg.Recovery = DefaultRecovery()
+	// Long cool-down so the quarantined checker cannot re-enter within
+	// the run: the degraded window must persist without deadlock.
+	cfg.Recovery.Quarantine.CooldownNS = 1e12
+	withCheckerFault(&cfg, 0, 3)
+
+	res, err := Run(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(20000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Detections == 0 {
+		t.Fatal("fault never detected")
+	}
+	if lane.Recovery.Quarantines == 0 {
+		t.Fatal("checker never quarantined")
+	}
+	if lane.DegradedSegments == 0 || lane.DegradedInsts == 0 || lane.DegradedNS <= 0 {
+		t.Errorf("no degraded window accounted: %+v", lane)
+	}
+	if lane.Insts == 0 {
+		t.Error("lane never finished")
+	}
+	if got := lane.Coverage(); got >= 1.0 {
+		t.Errorf("coverage %.3f with an empty pool, want < 1.0", got)
+	}
+}
+
+// TestProbationReadmitsHealedChecker quarantines a checker whose fault
+// then goes away (an intermittent that clears): after the cool-down it
+// must shadow-check its way back into the pool, ending the degraded
+// window.
+func TestProbationReadmitsHealedChecker(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.Recovery = DefaultRecovery()
+	cfg.Recovery.Quarantine.CooldownNS = 10_000 // short cool-down
+	healed := false
+	intc := &stuckAtInterceptor{bit: 3}
+	cfg.CheckerInterceptor = func(_, id int) emu.Interceptor {
+		if id == 0 && !healed {
+			return intc
+		}
+		return nil
+	}
+
+	s, err := NewSystem(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(30000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until the first quarantine, then heal the fault.
+	for {
+		l := s.nextLane()
+		if l == nil {
+			break
+		}
+		if err := s.runSegment(l); err != nil {
+			t.Fatal(err)
+		}
+		if !healed && l.res.Recovery.Quarantines > 0 {
+			healed = true
+		}
+	}
+	res := s.collect()
+	lane := res.Lanes[0]
+	if lane.Recovery.Quarantines == 0 {
+		t.Fatal("checker never quarantined")
+	}
+	if lane.Recovery.ProbationChecks == 0 {
+		t.Error("quarantined checker never shadow-checked on probation")
+	}
+	if lane.Recovery.Readmissions == 0 {
+		t.Errorf("healed checker never readmitted: %+v", lane.Recovery)
+	}
+	ck := res.CheckersByLane[0][0]
+	if ck.State != CheckerActive {
+		t.Errorf("healed checker ended %s, want active", ck.State)
+	}
+}
+
+// TestPersistentOffenderRetired keeps the fault active through every
+// probation attempt: the exponential-backoff re-test schedule must
+// retire the checker permanently after MaxOffenses.
+func TestPersistentOffenderRetired(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.Recovery = DefaultRecovery()
+	cfg.Recovery.Quarantine.CooldownNS = 1_000 // fast re-tests
+	cfg.Recovery.Quarantine.MaxOffenses = 2
+	withCheckerFault(&cfg, 0, 3)
+
+	res, err := Run(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(60000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	ck := res.CheckersByLane[0][0]
+	if ck.State != CheckerRetired {
+		t.Fatalf("persistent offender ended %s after %d offenses, want retired", ck.State, ck.Offenses)
+	}
+	if lane.Recovery.Retirements == 0 {
+		t.Error("retirement not accounted")
+	}
+	if ck.Offenses <= cfg.Recovery.Quarantine.MaxOffenses {
+		t.Errorf("retired after %d offenses, want > %d", ck.Offenses, cfg.Recovery.Quarantine.MaxOffenses)
+	}
+}
+
+// TestSampleMismatchesCapped verifies the diagnostic sample stays within
+// its cap even when a single segment raises many mismatches.
+func TestSampleMismatchesCapped(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	withCheckerFault(&cfg, 0, 3)
+	// No recovery: every faulty-checker segment keeps flagging, so the
+	// sample would overshoot without the cap.
+	res, err := Run(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(20000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Detections < 2 {
+		t.Skipf("only %d detections; cap not exercised", lane.Detections)
+	}
+	if len(lane.SampleMismatches) > sampleMismatchCap {
+		t.Errorf("sample holds %d mismatches, cap is %d", len(lane.SampleMismatches), sampleMismatchCap)
+	}
+}
+
+// TestRecoveryValidation checks config plumbing.
+func TestRecoveryValidation(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(2, 2.0))
+	cfg.Recovery = DefaultRecovery()
+	cfg.Recovery.Quarantine.ProbationChecks = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid quarantine policy accepted")
+	}
+	cfg = DefaultConfig() // no checkers
+	cfg.Checkers = nil
+	cfg.Recovery = DefaultRecovery()
+	if err := cfg.Validate(); err == nil {
+		t.Error("recovery without a checker pool accepted")
+	}
+}
+
+// TestAllocatorQuarantineLifecycle unit-tests the pool state machine.
+func TestAllocatorQuarantineLifecycle(t *testing.T) {
+	mk := func(id int) *Checker {
+		core, err := cpu.NewCore(cpu.A510(), 2.0, cpu.ModeChecker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Checker{ID: id, Core: core, FreqGHz: 2.0}
+	}
+	a, err := NewAllocator([]*Checker{mk(0), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := QuarantinePolicy{CooldownNS: 100, ProbationChecks: 2, MaxOffenses: 2}
+	c0 := a.Checkers()[0]
+
+	if retired := a.Quarantine(c0, 0, pol); retired {
+		t.Fatal("first offense retired")
+	}
+	if c0.State != CheckerQuarantined || c0.ReentryNS != 100 {
+		t.Fatalf("bad quarantine state: %+v", c0)
+	}
+	if a.ActiveCount() != 1 || !a.Impaired() {
+		t.Error("pool accounting wrong after quarantine")
+	}
+	if got := a.AcquireFree(0); got == c0 {
+		t.Error("quarantined checker acquired")
+	}
+	if p := a.ProbationFree(50); p != nil {
+		t.Error("probation before cool-down")
+	}
+	if p := a.ProbationFree(100); p != c0 {
+		t.Error("cooled-down checker not on probation")
+	}
+	// One clean check is not enough; the second readmits.
+	if re, _ := a.NoteProbation(c0, true, 100, pol); re {
+		t.Error("readmitted too early")
+	}
+	if re, _ := a.NoteProbation(c0, true, 100, pol); !re {
+		t.Error("not readmitted after required clean checks")
+	}
+	if c0.State != CheckerActive {
+		t.Error("readmission did not activate")
+	}
+
+	// Second offense doubles the cool-down; third exceeds MaxOffenses
+	// and retires.
+	a.Quarantine(c0, 1000, pol)
+	if c0.ReentryNS != 1000+200 {
+		t.Errorf("cool-down %v, want exponential backoff 1200", c0.ReentryNS)
+	}
+	if retired := a.Quarantine(c0, 2000, pol); !retired {
+		t.Error("offender beyond MaxOffenses not retired")
+	}
+	if c0.State != CheckerRetired {
+		t.Error("retired state not set")
+	}
+	if a.EarliestFree() == nil {
+		// one healthy checker remains
+		t.Error("EarliestFree lost the healthy checker")
+	}
+
+	// Exhaust the pool: EarliestFree must report nil, the degradation
+	// signal.
+	a.Quarantine(a.Checkers()[1], 0, pol)
+	if a.EarliestFree() != nil {
+		t.Error("EarliestFree returned a checker from an empty pool")
+	}
+	if a.NextPartner(c0, 0) != nil {
+		t.Error("NextPartner found a partner in an empty pool")
+	}
+}
+
+// TestNextPartnerRotates checks the rotating partner selection.
+func TestNextPartnerRotates(t *testing.T) {
+	mk := func(id int) *Checker {
+		core, err := cpu.NewCore(cpu.A510(), 2.0, cpu.ModeChecker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Checker{ID: id, Core: core, FreqGHz: 2.0}
+	}
+	a, err := NewAllocator([]*Checker{mk(0), mk(1), mk(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspect := a.Checkers()[0]
+	p1 := a.NextPartner(suspect, 0)
+	p2 := a.NextPartner(suspect, 0)
+	if p1 == nil || p2 == nil {
+		t.Fatal("no partner in a pool of three")
+	}
+	if p1 == suspect || p2 == suspect {
+		t.Error("suspect selected as its own replay partner")
+	}
+	if p1 == p2 {
+		t.Error("partner selection did not rotate")
+	}
+}

@@ -1,5 +1,13 @@
 package core
 
+import "paraverser/internal/maintenance"
+
+// Sample caps keep diagnostic samples bounded regardless of run length.
+const (
+	sampleMismatchCap = 8
+	sampleRecoveryCap = 16
+)
+
 // LaneResult reports one main core's run.
 type LaneResult struct {
 	Name string
@@ -30,6 +38,20 @@ type LaneResult struct {
 	// SampleMismatches holds a few mismatches for diagnosis.
 	SampleMismatches []Mismatch
 
+	// Recovery aggregates the error-recovery pipeline's activity;
+	// SampleRecoveries holds the first few recovery events for
+	// diagnosis.
+	Recovery         RecoveryStats
+	SampleRecoveries []RecoveryEvent
+
+	// DegradedSegments/Insts/NS account the graceful-degradation
+	// windows: segments a full-coverage lane ran unchecked because
+	// quarantine had emptied its active checker pool. Coverage recovers
+	// when probation readmits checkers.
+	DegradedSegments int
+	DegradedInsts    uint64
+	DegradedNS       float64
+
 	// MainBusyNS approximates the main core's busy (non-stalled) time
 	// for energy accounting.
 	MainBusyNS float64
@@ -52,6 +74,11 @@ type CheckerResult struct {
 	BusyNS   float64
 	Insts    uint64
 	Segments int
+
+	// State is the checker's pool standing at run end; Offenses how many
+	// times it was quarantined.
+	State    CheckerState
+	Offenses int
 }
 
 // Result is the outcome of one system run.
@@ -65,6 +92,29 @@ type Result struct {
 	// AvgLLCExtraNS is the mean queueing delay added to LLC accesses by
 	// mesh contention (what the paper back-propagates).
 	AvgLLCExtraNS float64
+
+	// Maintenance is the live fleet tracker the recovery pipeline fed
+	// during the run (nil when recovery is disabled). Judge it with any
+	// maintenance.Policy to get retirement recommendations.
+	Maintenance *maintenance.Tracker
+}
+
+// Recovery aggregates the recovery pipeline's activity over lanes.
+func (r *Result) Recovery() RecoveryStats {
+	var st RecoveryStats
+	for i := range r.Lanes {
+		st.Add(r.Lanes[i].Recovery)
+	}
+	return st
+}
+
+// DegradedNS sums the graceful-degradation windows over lanes.
+func (r *Result) DegradedNS() float64 {
+	var ns float64
+	for i := range r.Lanes {
+		ns += r.Lanes[i].DegradedNS
+	}
+	return ns
 }
 
 // TimeNS returns the longest lane time (the run's wall clock).

@@ -8,6 +8,7 @@ import (
 	"paraverser/internal/cpu"
 	"paraverser/internal/dram"
 	"paraverser/internal/emu"
+	"paraverser/internal/maintenance"
 	"paraverser/internal/noc"
 )
 
@@ -26,6 +27,10 @@ type System struct {
 
 	procs []*process
 	lanes []*lane
+
+	// tracker is the live predictive-maintenance feed of the recovery
+	// pipeline (nil when recovery is disabled).
+	tracker *maintenance.Tracker
 
 	llcExtraSum float64
 	llcExtraN   uint64
@@ -64,6 +69,15 @@ type lane struct {
 	res      LaneResult
 	done     bool
 
+	// segDegraded marks the segment as a graceful-degradation window: a
+	// full-coverage lane running unchecked because quarantine emptied
+	// its active checker pool.
+	segDegraded bool
+	// lastClean is a retained copy of the latest clean-verified segment,
+	// the shadow-check material for probation re-tests (section V notes
+	// checkpoints are retained exactly for replay purposes).
+	lastClean *Segment
+
 	// warm snapshots statistics at the warmup boundary so finishLane can
 	// report the measured window only.
 	warmed bool
@@ -81,6 +95,10 @@ type warmSnapshot struct {
 	checkpointNS float64
 	logBytes     uint64
 	logLines     uint64
+	recovery     RecoveryStats
+	degSegments  int
+	degInsts     uint64
+	degNS        float64
 	ckBusyNS     []float64
 	ckInsts      []uint64
 	ckSegments   []int
@@ -127,6 +145,9 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 		l3:     cachesim.MustNew(cfg.L3),
 		mem:    dram.New(cfg.DRAM),
 		flows:  newFlowTracker(),
+	}
+	if cfg.Recovery.Enabled {
+		s.tracker = maintenance.NewTracker()
 	}
 
 	laneIdx := 0
@@ -274,14 +295,23 @@ func (s *System) runSegment(l *lane) error {
 	var ck *Checker
 	resumeAtNS := math.Inf(1)
 	l.segChecked = false
+	l.segDegraded = false
 
 	if s.checking() {
 		switch s.cfg.Mode {
 		case ModeFullCoverage:
 			ck = l.alloc.AcquireFree(now)
 			if ck == nil {
-				// Stall until a checker frees (section IV-A).
 				e := l.alloc.EarliestFree()
+				if e == nil {
+					// Quarantine emptied the active pool: degrade this
+					// lane to opportunistic operation instead of
+					// stalling forever; coverage resumes when probation
+					// readmits a checker.
+					l.segDegraded = true
+					break
+				}
+				// Stall until a checker frees (section IV-A).
 				stall := e.FreeAtNS - now
 				l.main.StallNS(stall)
 				l.res.StallNS += stall
@@ -298,10 +328,10 @@ func (s *System) runSegment(l *lane) error {
 			ck = l.alloc.AcquireFree(now)
 			if ck != nil {
 				l.segChecked = true
-			} else {
+			} else if e := l.alloc.EarliestFree(); e != nil {
 				// Run unchecked until a checker frees, then immediately
 				// take a new checkpoint (section IV-A).
-				resumeAtNS = l.alloc.EarliestFree().FreeAtNS
+				resumeAtNS = e.FreeAtNS
 			}
 		}
 	}
@@ -374,6 +404,16 @@ func (s *System) runSegment(l *lane) error {
 
 	if !l.segChecked {
 		l.res.UncheckedInsts += l.segInsts
+		if l.segDegraded {
+			l.res.DegradedSegments++
+			l.res.DegradedInsts += l.segInsts
+			l.res.DegradedNS += endNS - startNS
+		}
+		if s.recovering() {
+			// Cooled-down checkers re-test against the retained clean
+			// segment; a readmission ends the degraded window.
+			s.probationRetest(l, endNS)
+		}
 		s.flows.refresh(s.mesh, endNS)
 		s.maybeSnapshotWarm(l)
 		if reason == BoundaryHalt {
@@ -429,6 +469,10 @@ func (s *System) maybeSnapshotWarm(l *lane) {
 		checkpointNS: l.res.CheckpointNS,
 		logBytes:     l.res.LogBytes,
 		logLines:     l.res.LogLines,
+		recovery:     l.res.Recovery,
+		degSegments:  l.res.DegradedSegments,
+		degInsts:     l.res.DegradedInsts,
+		degNS:        l.res.DegradedNS,
 	}
 	if l.alloc != nil {
 		for _, ck := range l.alloc.Checkers() {
@@ -523,8 +567,24 @@ func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
 		if l.res.FirstDetectionInst < 0 {
 			l.res.FirstDetectionInst = l.executed
 		}
-		if len(l.res.SampleMismatches) < 8 {
-			l.res.SampleMismatches = append(l.res.SampleMismatches, res.Mismatches...)
+		if room := sampleMismatchCap - len(l.res.SampleMismatches); room > 0 {
+			mm := res.Mismatches
+			if len(mm) > room {
+				mm = mm[:room]
+			}
+			l.res.SampleMismatches = append(l.res.SampleMismatches, mm...)
+		}
+	}
+
+	if s.recovering() {
+		s.observe(l, ck, seg.Insts, res.Detected())
+		if res.Detected() {
+			s.recover(l, ck, seg, doneNS)
+		} else {
+			// The segment is verified clean: retain it as probation
+			// material and let probation checkers shadow-check it.
+			s.retainProbationSeg(l, seg)
+			s.shadowCheck(l, seg, doneNS)
 		}
 	}
 }
@@ -546,12 +606,16 @@ func (s *System) finishLane(l *lane) {
 		l.res.CheckpointNS -= l.warm.checkpointNS
 		l.res.LogBytes -= l.warm.logBytes
 		l.res.LogLines -= l.warm.logLines
+		l.res.Recovery.sub(l.warm.recovery)
+		l.res.DegradedSegments -= l.warm.degSegments
+		l.res.DegradedInsts -= l.warm.degInsts
+		l.res.DegradedNS -= l.warm.degNS
 	}
 	l.res.MainBusyNS = l.res.TimeNS - l.res.StallNS
 }
 
 func (s *System) collect() *Result {
-	r := &Result{MaxLinkUtilisation: s.mesh.MaxUtilisation()}
+	r := &Result{MaxLinkUtilisation: s.mesh.MaxUtilisation(), Maintenance: s.tracker}
 	if s.llcExtraN > 0 {
 		r.AvgLLCExtraNS = s.llcExtraSum / float64(s.llcExtraN)
 	}
@@ -568,6 +632,8 @@ func (s *System) collect() *Result {
 					BusyNS:   c.BusyNS,
 					Insts:    c.Insts,
 					Segments: c.Segments,
+					State:    c.State,
+					Offenses: c.Offenses,
 				}
 				if l.warmed && i < len(l.warm.ckBusyNS) {
 					cr.BusyNS -= l.warm.ckBusyNS[i]

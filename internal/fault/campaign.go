@@ -1,0 +1,410 @@
+// Campaign engine: fleet-scale randomized fault-injection trials
+// (stuck-at FU / LSQ-address / transient × workloads × checker configs)
+// fanned out across goroutines with deterministic per-trial seeds. Each
+// trial runs a full ParaVerser system with the closed-loop recovery
+// layer live, and the aggregate reports detection-latency distributions,
+// the masked/detected/undetected-SDC split, and quarantine/recovery
+// statistics — the SDC-campaign methodology ITHICA and RepTFD apply at
+// data-center scale.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"paraverser/internal/core"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+	"paraverser/internal/stats"
+)
+
+// CampaignConfig parameterises one injection campaign. Workload
+// programs and config templates are shared read-only across concurrent
+// trials; every trial copies its Config value and builds a private
+// injector.
+type CampaignConfig struct {
+	// Seed is the campaign base seed; trial i derives its own seed from
+	// it, so the same base seed reproduces the identical verdict table
+	// regardless of Workers.
+	Seed int64
+	// Trials is the number of randomized injection trials.
+	Trials int
+	// Workers bounds concurrent trials (0 = GOMAXPROCS).
+	Workers int
+	// Workloads are the programs trials sample from.
+	Workloads []core.Workload
+	// Configs are the checker-system templates trials sample from; each
+	// must have a checker pool. Recovery is forced on.
+	Configs []core.Config
+	// TransientFrac and LSQFrac set the fault-type mix; the remainder
+	// are stuck-at functional-unit faults. Both default when zero
+	// (0.25 transient, 0.2 LSQ).
+	TransientFrac float64
+	LSQFrac       float64
+}
+
+func (c *CampaignConfig) withDefaults() CampaignConfig {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.TransientFrac == 0 {
+		out.TransientFrac = 0.25
+	}
+	if out.LSQFrac == 0 {
+		out.LSQFrac = 0.2
+	}
+	return out
+}
+
+// Validate checks the campaign parameters.
+func (c *CampaignConfig) Validate() error {
+	if c.Trials <= 0 {
+		return fmt.Errorf("fault: campaign needs trials > 0")
+	}
+	if len(c.Workloads) == 0 {
+		return fmt.Errorf("fault: campaign needs workloads")
+	}
+	if len(c.Configs) == 0 {
+		return fmt.Errorf("fault: campaign needs system configs")
+	}
+	for i := range c.Configs {
+		if len(c.Configs[i].Checkers) == 0 {
+			return fmt.Errorf("fault: campaign config %d has no checker pool", i)
+		}
+	}
+	return nil
+}
+
+// Trial is one generated injection experiment.
+type Trial struct {
+	Index int
+	// Seed drives both the trial generation and the system's
+	// non-repeatable instruction streams.
+	Seed int64
+	// Fault is the injected fault; CheckerID the checker core it lives
+	// on (per lane).
+	Fault     Fault
+	CheckerID int
+	// Workload and Config index into the campaign's pools.
+	Workload int
+	Config   int
+}
+
+// TrialResult is one finished trial.
+type TrialResult struct {
+	Trial
+	// WorkloadName labels the sampled program.
+	WorkloadName string
+	// Outcome is the masked/detected/undetected-SDC classification.
+	Outcome Outcome
+	// DetectionInst is the main-core instruction count at first
+	// detection (-1 when undetected) — the latency metric.
+	DetectionInst int64
+	// Fires and Activations are the injector's counters.
+	Fires, Activations uint64
+	// Detections counts flagged segments across lanes.
+	Detections int
+	// Verdict is the recovery pipeline's forensic classification of the
+	// first detection (DiagnosisInvalid when nothing was detected).
+	Verdict core.Diagnosis
+	// Recovery aggregates the trial's recovery-pipeline activity.
+	Recovery core.RecoveryStats
+	// Quarantined and Retired report the faulty checker's final
+	// standing; DegradedNS the graceful-degradation window.
+	Quarantined bool
+	Retired     bool
+	DegradedNS  float64
+}
+
+// CampaignResult aggregates a finished campaign. Trials are ordered by
+// index, so equal seeds yield byte-identical tables.
+type CampaignResult struct {
+	Trials []TrialResult
+}
+
+// RunCampaign generates cfg.Trials randomized faults and runs each in
+// its own ParaVerser system, fanning trials out over cfg.Workers
+// goroutines. Trial seeds derive deterministically from cfg.Seed, and
+// results slot into a fixed order, so the outcome is independent of
+// scheduling.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	trials := make([]Trial, cfg.Trials)
+	for i := range trials {
+		trials[i] = genTrial(&cfg, i)
+	}
+
+	results := make([]TrialResult, len(trials))
+	errs := make([]error, len(trials))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = runTrial(&cfg, trials[i])
+			}
+		}()
+	}
+	for i := range trials {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return &CampaignResult{Trials: results}, nil
+}
+
+// trialSeed spreads the base seed across trials with a splitmix-style
+// step so neighbouring trials decorrelate.
+func trialSeed(base int64, i int) int64 {
+	x := uint64(base) + uint64(i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+func genTrial(cfg *CampaignConfig, i int) Trial {
+	t := Trial{Index: i, Seed: trialSeed(cfg.Seed, i)}
+	rng := rand.New(rand.NewSource(t.Seed))
+	t.Config = rng.Intn(len(cfg.Configs))
+	t.Workload = rng.Intn(len(cfg.Workloads))
+	pool := 0
+	for _, spec := range cfg.Configs[t.Config].Checkers {
+		pool += spec.Count
+	}
+	t.CheckerID = rng.Intn(pool)
+	fu := make(map[isa.Class]int)
+	for class, p := range cfg.Configs[t.Config].Checkers[0].CPU.FUs {
+		fu[class] = p.Count
+	}
+	t.Fault = RandomFault(rng, fu, cfg.TransientFrac, cfg.LSQFrac)
+	return t
+}
+
+// RandomFault draws one fault from the campaign mix: a transient
+// single-bit flip with probability transientFrac, a stuck-at LSQ-address
+// fault with probability lsqFrac, otherwise a stuck-at fault on a
+// functional-unit output.
+func RandomFault(rng *rand.Rand, fuCounts map[isa.Class]int, transientFrac, lsqFrac float64) Fault {
+	f := Fault{Bit: uint(rng.Intn(64))}
+	switch {
+	case rng.Float64() < transientFrac:
+		f.Kind = Transient
+		// Fire on an early-ish exercise of the unit so the flip lands
+		// inside the detection horizon.
+		f.TransientAt = 1 + uint64(rng.Intn(200))
+	case rng.Intn(2) == 0:
+		f.Kind = StuckAt1
+	default:
+		f.Kind = StuckAt0
+	}
+	if rng.Float64() < lsqFrac {
+		f.LSQ = true
+		// Keep address faults in the low bits so they stay inside mapped
+		// data and perturb behaviour rather than vanishing into unmapped
+		// space.
+		f.Bit = uint(rng.Intn(16))
+		return f
+	}
+	classes := make([]isa.Class, 0, len(fuCounts))
+	for class := range fuCounts {
+		classes = append(classes, class)
+	}
+	// Map iteration order is random; sort for determinism.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	class := classes[rng.Intn(len(classes))]
+	units := fuCounts[class]
+	if units <= 0 {
+		units = 1
+	}
+	f.Class = class
+	f.Units = units
+	f.Unit = rng.Intn(units)
+	return f
+}
+
+func runTrial(cfg *CampaignConfig, t Trial) (TrialResult, error) {
+	out := TrialResult{
+		Trial:         t,
+		WorkloadName:  cfg.Workloads[t.Workload].Name,
+		DetectionInst: -1,
+	}
+	sys := cfg.Configs[t.Config] // private copy of the template
+	if !sys.Recovery.Enabled {
+		sys.Recovery = core.DefaultRecovery()
+	}
+	sys.Seed = uint64(t.Seed)
+	inj, err := NewInjector(t.Fault)
+	if err != nil {
+		return out, fmt.Errorf("fault: trial %d: %w", t.Index, err)
+	}
+	sys.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
+		if ckID == t.CheckerID {
+			return inj
+		}
+		return nil
+	}
+
+	res, err := core.Run(sys, []core.Workload{cfg.Workloads[t.Workload]})
+	if err != nil {
+		return out, fmt.Errorf("fault: trial %d (%s on %s): %w",
+			t.Index, t.Fault, out.WorkloadName, err)
+	}
+
+	for i := range res.Lanes {
+		lane := &res.Lanes[i]
+		out.Detections += lane.Detections
+		if lane.FirstDetectionInst >= 0 &&
+			(out.DetectionInst < 0 || lane.FirstDetectionInst < out.DetectionInst) {
+			out.DetectionInst = lane.FirstDetectionInst
+		}
+		if out.Verdict == core.DiagnosisInvalid && len(lane.SampleRecoveries) > 0 {
+			out.Verdict = lane.SampleRecoveries[0].Verdict
+		}
+	}
+	out.Recovery = res.Recovery()
+	out.DegradedNS = res.DegradedNS()
+	for _, cks := range res.CheckersByLane {
+		for _, ck := range cks {
+			if ck.ID != t.CheckerID {
+				continue
+			}
+			switch ck.State {
+			case core.CheckerQuarantined, core.CheckerProbation:
+				out.Quarantined = true
+			case core.CheckerRetired:
+				out.Quarantined = true
+				out.Retired = true
+			}
+		}
+	}
+	out.Fires, out.Activations = inj.Fires, inj.Activations
+	out.Outcome = ClassifySDC(inj, out.Detections > 0)
+	return out, nil
+}
+
+// Latencies returns the detection latencies (in main-core instructions)
+// of the detected trials, in trial order.
+func (r *CampaignResult) Latencies() []float64 {
+	var out []float64
+	for i := range r.Trials {
+		if r.Trials[i].Outcome == Detected && r.Trials[i].DetectionInst >= 0 {
+			out = append(out, float64(r.Trials[i].DetectionInst))
+		}
+	}
+	return out
+}
+
+// Outcomes tallies trials per outcome.
+func (r *CampaignResult) Outcomes() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for i := range r.Trials {
+		out[r.Trials[i].Outcome]++
+	}
+	return out
+}
+
+// Recovery sums recovery-pipeline stats over trials.
+func (r *CampaignResult) Recovery() core.RecoveryStats {
+	var st core.RecoveryStats
+	for i := range r.Trials {
+		st.Add(r.Trials[i].Recovery)
+	}
+	return st
+}
+
+// Table renders the campaign summary: the outcome split, the
+// detection-latency distribution in instructions, and the
+// quarantine/recovery statistics.
+func (r *CampaignResult) Table() string {
+	n := len(r.Trials)
+	counts := r.Outcomes()
+	pct := func(c int) string {
+		if n == 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(c)/float64(n))
+	}
+	t := stats.NewTable("metric", "value", "share")
+	t.Row("trials", n, "")
+	for _, o := range []Outcome{Detected, Masked, Dormant, UndetectedSDC} {
+		t.Row(o.String(), counts[o], pct(counts[o]))
+	}
+
+	lat := r.Latencies()
+	if len(lat) > 0 {
+		t.Row("latency p50 (insts)", fmt.Sprintf("%.0f", stats.Percentile(lat, 50)), "")
+		t.Row("latency p95 (insts)", fmt.Sprintf("%.0f", stats.Percentile(lat, 95)), "")
+		t.Row("latency p99 (insts)", fmt.Sprintf("%.0f", stats.Percentile(lat, 99)), "")
+	}
+
+	st := r.Recovery()
+	quarantined, retired := 0, 0
+	var degradedNS float64
+	for i := range r.Trials {
+		if r.Trials[i].Quarantined {
+			quarantined++
+		}
+		if r.Trials[i].Retired {
+			retired++
+		}
+		degradedNS += r.Trials[i].DegradedNS
+	}
+	t.Row("recovery events", st.Events, "")
+	t.Row("re-replays", st.Retries, "")
+	t.Row("re-verified clean", st.ReplayedClean, "")
+	t.Row("verdict checker-persistent", st.CheckerPersistent, "")
+	t.Row("verdict checker-intermittent", st.CheckerIntermittent, "")
+	t.Row("verdict main-suspected", st.MainSuspected, "")
+	t.Row("verdict not-reproduced", st.Unreproduced, "")
+	t.Row("trials with quarantine", quarantined, pct(quarantined))
+	t.Row("trials with retirement", retired, pct(retired))
+	t.Row("probation shadow checks", st.ProbationChecks, "")
+	t.Row("probation readmissions", st.Readmissions, "")
+	t.Row("degraded-coverage time (µs)", fmt.Sprintf("%.1f", degradedNS/1e3), "")
+	return t.String()
+}
+
+// TrialTable renders the per-trial verdict table.
+func (r *CampaignResult) TrialTable() string {
+	t := stats.NewTable("trial", "fault", "workload", "ck", "outcome", "latency", "verdict", "pool")
+	for i := range r.Trials {
+		tr := &r.Trials[i]
+		lat := "-"
+		if tr.DetectionInst >= 0 {
+			lat = fmt.Sprintf("%d", tr.DetectionInst)
+		}
+		verdict := "-"
+		if tr.Verdict != core.DiagnosisInvalid {
+			verdict = tr.Verdict.String()
+		}
+		pool := "intact"
+		switch {
+		case tr.Retired:
+			pool = "retired"
+		case tr.Quarantined:
+			pool = "quarantined"
+		}
+		t.Row(tr.Index, tr.Fault.String(), tr.WorkloadName, tr.CheckerID,
+			tr.Outcome.String(), lat, verdict, pool)
+	}
+	return t.String()
+}

@@ -220,6 +220,11 @@ const (
 	Masked
 	// Dormant: the faulty unit was never exercised by the workload.
 	Dormant
+	// UndetectedSDC: the fault changed a value (an unmasked activation)
+	// yet no check flagged it within the horizon — the corruption could
+	// have escaped as silent data corruption through an unchecked
+	// window or an uncompared path.
+	UndetectedSDC
 )
 
 func (o Outcome) String() string {
@@ -230,6 +235,8 @@ func (o Outcome) String() string {
 		return "masked"
 	case Dormant:
 		return "dormant"
+	case UndetectedSDC:
+		return "undetected-sdc"
 	default:
 		return "invalid"
 	}
@@ -245,5 +252,22 @@ func Classify(in *Injector, detected bool) Outcome {
 		return Dormant
 	default:
 		return Masked
+	}
+}
+
+// ClassifySDC refines Classify with the silent-data-corruption split the
+// campaign engine reports: an activation that changed a value but was
+// never detected is a potential undetected SDC, while a fault that fired
+// without ever flipping an output bit was masked at the circuit level.
+func ClassifySDC(in *Injector, detected bool) Outcome {
+	switch {
+	case detected:
+		return Detected
+	case in.Fires == 0:
+		return Dormant
+	case in.Activations == 0:
+		return Masked
+	default:
+		return UndetectedSDC
 	}
 }

@@ -63,6 +63,26 @@ type (
 	// Program is a program in the repo ISA.
 	Program = isa.Program
 
+	// RecoveryConfig controls the closed-loop error-recovery layer:
+	// segment re-replay on alternate checkers, forensic classification,
+	// live maintenance tracking, and checker quarantine.
+	RecoveryConfig = core.RecoveryConfig
+	// QuarantinePolicy governs checker quarantine, probation and
+	// retirement.
+	QuarantinePolicy = core.QuarantinePolicy
+	// RecoveryStats aggregates the recovery pipeline's activity.
+	RecoveryStats = core.RecoveryStats
+	// RecoveryEvent records one detection's trip through recovery.
+	RecoveryEvent = core.RecoveryEvent
+	// CheckerState is a checker core's standing in the allocation pool.
+	CheckerState = core.CheckerState
+
+	// CampaignConfig parameterises a concurrent fault-injection
+	// campaign; CampaignResult is its aggregate, TrialResult one trial.
+	CampaignConfig = fault.CampaignConfig
+	CampaignResult = fault.CampaignResult
+	TrialResult    = fault.TrialResult
+
 	// MaintenanceTracker accumulates detections per core for the
 	// predictive-maintenance use case (section I).
 	MaintenanceTracker = maintenance.Tracker
@@ -78,6 +98,14 @@ type (
 const (
 	ModeFullCoverage  = core.ModeFullCoverage
 	ModeOpportunistic = core.ModeOpportunistic
+)
+
+// Checker pool states (the quarantine life cycle).
+const (
+	CheckerActive      = core.CheckerActive
+	CheckerQuarantined = core.CheckerQuarantined
+	CheckerProbation   = core.CheckerProbation
+	CheckerRetired     = core.CheckerRetired
 )
 
 // Core model presets from Table I.
@@ -206,6 +234,27 @@ func NewMaintenanceTracker() *MaintenanceTracker { return maintenance.NewTracker
 
 // DefaultMaintenancePolicy returns conservative retirement thresholds.
 func DefaultMaintenancePolicy() MaintenancePolicy { return maintenance.DefaultPolicy() }
+
+// DefaultRecovery returns the recovery policy the campaign engine uses:
+// bounded re-replay, forensic classification, quarantine with probation,
+// and graceful coverage degradation.
+func DefaultRecovery() RecoveryConfig { return core.DefaultRecovery() }
+
+// RunCampaign fans randomized fault-injection trials out across
+// goroutines with deterministic per-trial seeds and aggregates
+// detection-latency distributions, SDC classification, and
+// quarantine/recovery statistics.
+func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
+	return fault.RunCampaign(cfg)
+}
+
+// StuckAtALUFault returns a single-bit stuck-at-1 hard fault on the
+// output of a one-unit integer-ALU pool: every ALU instruction exercises
+// it, so it activates quickly — the canonical developing hard fault for
+// recovery and maintenance demos.
+func StuckAtALUFault(bit uint) Fault {
+	return Fault{Kind: fault.StuckAt1, Class: isa.ClassIntALU, Unit: 0, Units: 1, Bit: bit}
+}
 
 // FaultCampaign generates n random hard faults over the given core's
 // functional units (the fig. 8 methodology).

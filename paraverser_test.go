@@ -111,3 +111,84 @@ func TestPriorWorkConfigs(t *testing.T) {
 		t.Error("DSN18 checker count != 12")
 	}
 }
+
+func TestPublicAPIRecoveryAndQuarantine(t *testing.T) {
+	cfg := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 4))
+	cfg.Recovery = paraverser.DefaultRecovery()
+	if err := paraverser.InjectOnChecker(&cfg, paraverser.StuckAtALUFault(2), 1); err != nil {
+		t.Fatal(err)
+	}
+	w, err := paraverser.SPECWorkload("leela", 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := paraverser.Run(cfg, []paraverser.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Detections == 0 {
+		t.Fatal("stuck-at ALU fault never detected")
+	}
+	st := lane.Recovery
+	if st.Events == 0 || st.ReplayedClean == 0 {
+		t.Errorf("recovery events=%d replayedClean=%d, want both > 0", st.Events, st.ReplayedClean)
+	}
+	if st.MainSuspected != 0 {
+		t.Errorf("%d main-suspected verdicts on a checker-side fault", st.MainSuspected)
+	}
+	if st.Quarantines == 0 {
+		t.Error("faulty checker never quarantined")
+	}
+	faulty := res.CheckersByLane[0][1]
+	if faulty.State == paraverser.CheckerActive && faulty.Offenses == 0 {
+		t.Errorf("faulty checker still pristine: state=%v offenses=%d", faulty.State, faulty.Offenses)
+	}
+	for _, id := range []int{0, 2, 3} {
+		if ck := res.CheckersByLane[0][id]; ck.Offenses != 0 {
+			t.Errorf("healthy checker %d has %d offenses", id, ck.Offenses)
+		}
+	}
+	if res.Maintenance == nil {
+		t.Fatal("recovery run has no maintenance tracker")
+	}
+	if len(res.Maintenance.Fleet(paraverser.MaintenancePolicy{})) == 0 {
+		t.Error("maintenance tracker saw no cores")
+	}
+}
+
+func TestPublicAPICampaignReproducible(t *testing.T) {
+	w, err := paraverser.SPECWorkload("exchange2", 60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := paraverser.DefaultConfig(paraverser.Checkers(paraverser.A510(), 2.0, 3))
+	full.Recovery = paraverser.DefaultRecovery()
+	cc := paraverser.CampaignConfig{
+		Seed:      11,
+		Trials:    4,
+		Workloads: []paraverser.Workload{w},
+		Configs:   []paraverser.Config{full},
+	}
+	a, err := paraverser.RunCampaign(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := paraverser.RunCampaign(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrialTable() != b.TrialTable() {
+		t.Error("same seed produced different trial tables")
+	}
+	if len(a.Trials) != 4 {
+		t.Fatalf("%d trials, want 4", len(a.Trials))
+	}
+	total := 0
+	for _, c := range a.Outcomes() {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("outcome tally %d, want 4", total)
+	}
+}
