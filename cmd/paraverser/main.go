@@ -12,6 +12,11 @@
 // benchmark for 250k measured instructions after a 150k-instruction
 // warmup (scaled down from the paper's 1B-instruction windows after 10B
 // fast-forward).
+//
+// -j N bounds the simulation worker pool (default GOMAXPROCS). "all"
+// runs every experiment concurrently over the shared result cache, so
+// baselines and DVFS sweeps shared between figures are simulated exactly
+// once; output is still printed in the fixed experiment order.
 package main
 
 import (
@@ -38,6 +43,7 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "base seed for the fault-injection campaign (reproducible verdict tables)")
 	campaignTrials := fs.Int("campaign-trials", 0, "override campaign trial count (default: 4x fault-trials)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrent campaign trials (0 = GOMAXPROCS)")
+	workers := fs.Int("j", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
 		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign all\n")
@@ -67,19 +73,63 @@ func run(args []string) int {
 	if *trials > 0 {
 		sc.FaultTrials = *trials
 	}
+	experiments.SetWorkers(*workers)
 
 	names := fs.Args()
+	concurrent := false
 	if len(names) == 1 && names[0] == "all" {
 		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign"}
+		concurrent = true
 	}
 	camp := campaignOpts{seed: *seed, trials: *campaignTrials, workers: *campaignWorkers}
-	for _, name := range names {
-		start := time.Now()
-		if err := runExperiment(name, sc, camp); err != nil {
-			fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, err)
+
+	type report struct {
+		text string
+		dur  time.Duration
+		err  error
+	}
+	reports := make([]report, len(names))
+	if concurrent {
+		// Every experiment submits its run matrix into the shared engine
+		// at once: simulations shared across figures (baselines, the DVFS
+		// sweep) run once, and the pool stays saturated across experiment
+		// boundaries. Output order stays fixed regardless of completion
+		// order.
+		done := make(chan struct{})
+		for i, name := range names {
+			go func(i int, name string) {
+				defer func() { done <- struct{}{} }()
+				start := time.Now()
+				text, err := runExperiment(name, sc, camp)
+				reports[i] = report{text, time.Since(start), err}
+			}(i, name)
+		}
+		for range names {
+			<-done
+		}
+	} else {
+		for i, name := range names {
+			start := time.Now()
+			text, err := runExperiment(name, sc, camp)
+			reports[i] = report{text, time.Since(start), err}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, err)
+				return 1
+			}
+			fmt.Print(text)
+			fmt.Printf("[%s completed in %v]\n\n", name, reports[i].dur.Round(time.Millisecond))
+		}
+		return 0
+	}
+
+	for i, name := range names {
+		r := reports[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, r.err)
 			return 1
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Print(r.text)
+		fmt.Printf("[%s completed in %v]\n\n", name, r.dur.Round(time.Millisecond))
 	}
 	return 0
 }
@@ -91,77 +141,80 @@ type campaignOpts struct {
 	workers int
 }
 
-func runExperiment(name string, sc experiments.Scale, camp campaignOpts) error {
+// runExperiment renders one experiment's report. It returns the output
+// rather than printing so concurrent "all" runs can't interleave tables.
+func runExperiment(name string, sc experiments.Scale, camp campaignOpts) (string, error) {
+	var b strings.Builder
 	switch name {
 	case "campaign":
 		r, err := experiments.Campaign(sc, camp.seed, camp.trials, camp.workers)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Printf("fault-injection campaign: %d trials, seed %d\n\n", len(r.Trials), camp.seed)
-		fmt.Println(r.TrialTable())
-		fmt.Println(r.Table())
+		fmt.Fprintf(&b, "fault-injection campaign: %d trials, seed %d\n\n", len(r.Trials), camp.seed)
+		fmt.Fprintln(&b, r.TrialTable())
+		fmt.Fprintln(&b, r.Table())
 	case "table1":
-		fmt.Println(experiments.Table1())
+		fmt.Fprintln(&b, experiments.Table1())
 	case "area":
-		fmt.Println(experiments.Area().Table())
+		fmt.Fprintln(&b, experiments.Area().Table())
 	case "fig6":
 		r, err := experiments.Fig6(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "fig7":
 		slow, cov, err := experiments.Fig7(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(slow.Table())
-		fmt.Println(cov.Table())
+		fmt.Fprintln(&b, slow.Table())
+		fmt.Fprintln(&b, cov.Table())
 	case "fig8":
 		r, err := experiments.Fig8(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Coverage.Table())
+		fmt.Fprintln(&b, r.Coverage.Table())
 	case "fig9":
 		r, err := experiments.Fig9(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "fig10":
 		r, err := experiments.Fig10(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "fig11":
 		r, err := experiments.Fig11(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "power":
 		r, err := experiments.Power(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "opportunity":
 		r, err := experiments.Opportunity(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	case "ablation":
 		r, err := experiments.Ablation(sc)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(r.Table())
+		fmt.Fprintln(&b, r.Table())
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return "", fmt.Errorf("unknown experiment %q", name)
 	}
-	return nil
+	return b.String(), nil
 }

@@ -41,11 +41,15 @@ func TestExperimentDispatchCoversAll(t *testing.T) {
 	sc := experiments.Quick()
 	camp := campaignOpts{seed: 1}
 	for _, name := range []string{"table1", "area"} {
-		if err := runExperiment(name, sc, camp); err != nil {
+		text, err := runExperiment(name, sc, camp)
+		if err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+		if text == "" {
+			t.Errorf("%s: empty report", name)
+		}
 	}
-	if err := runExperiment("nope", sc, camp); err == nil {
+	if _, err := runExperiment("nope", sc, camp); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

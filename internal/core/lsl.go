@@ -50,40 +50,56 @@ type Entry struct {
 // EntryFromEffect builds the log entry for an executed instruction, or
 // returns ok=false when the instruction produces no entry.
 func EntryFromEffect(eff *emu.Effect) (Entry, bool) {
+	var arena []MemRec
+	return EntryFromEffectArena(eff, &arena)
+}
+
+// EntryFromEffectArena is EntryFromEffect with the entry's Ops carved out
+// of a caller-owned arena: the records are appended to *arena and the
+// entry receives a capacity-clipped sub-slice, so a segment's worth of
+// entries shares one grow-once backing array instead of allocating per
+// instruction. The caller must not truncate the arena while any entry
+// taken from it is still reachable (Segment copies that outlive a
+// segment must deep-copy their Ops).
+func EntryFromEffectArena(eff *emu.Effect, arena *[]MemRec) (Entry, bool) {
+	a := *arena
+	start := len(a)
+	var e Entry
 	if eff.NonRepeat {
-		return Entry{
-			Kind: EntryNonRepeat,
-			Ops:  []MemRec{{Size: 8, Data: eff.NonRepeatVal, Load: true}},
-		}, true
-	}
-	if eff.NMem == 0 {
-		return Entry{}, false
-	}
-	e := Entry{Ops: make([]MemRec, 0, eff.NMem)}
-	for i := 0; i < eff.NMem; i++ {
-		m := eff.Mem[i]
-		e.Ops = append(e.Ops, MemRec{
-			Addr: m.Addr, Size: m.Size, Data: m.Data, Load: m.Kind == emu.MemLoad,
-		})
-	}
-	switch eff.Class {
-	case isa.ClassAtomic:
-		e.Kind = EntryLoadStore // load first, then store: already in order
-	case isa.ClassLoad:
-		if len(e.Ops) == 2 {
-			e.Kind = EntryGather
-		} else {
-			e.Kind = EntryLoad
+		e.Kind = EntryNonRepeat
+		a = append(a, MemRec{Size: 8, Data: eff.NonRepeatVal, Load: true})
+	} else {
+		if eff.NMem == 0 {
+			return Entry{}, false
 		}
-	case isa.ClassStore:
-		if len(e.Ops) == 2 {
-			e.Kind = EntryScatter
-		} else {
-			e.Kind = EntryStore
+		for i := 0; i < eff.NMem; i++ {
+			m := eff.Mem[i]
+			a = append(a, MemRec{
+				Addr: m.Addr, Size: m.Size, Data: m.Data, Load: m.Kind == emu.MemLoad,
+			})
 		}
-	default:
-		return Entry{}, false
+		nOps := len(a) - start
+		switch eff.Class {
+		case isa.ClassAtomic:
+			e.Kind = EntryLoadStore // load first, then store: already in order
+		case isa.ClassLoad:
+			if nOps == 2 {
+				e.Kind = EntryGather
+			} else {
+				e.Kind = EntryLoad
+			}
+		case isa.ClassStore:
+			if nOps == 2 {
+				e.Kind = EntryScatter
+			} else {
+				e.Kind = EntryStore
+			}
+		default:
+			return Entry{}, false
+		}
 	}
+	*arena = a
+	e.Ops = a[start:len(a):len(a)]
 	return e, true
 }
 

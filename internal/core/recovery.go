@@ -237,6 +237,19 @@ func (s *System) retainProbationSeg(l *lane, seg *Segment) {
 	}
 	cp := *seg
 	cp.Entries = append([]Entry(nil), seg.Entries...)
+	// The entries' Ops alias the lane's log arena, which the next
+	// beginSegment truncates and overwrites — the retained copy needs
+	// records of its own.
+	total := 0
+	for _, e := range seg.Entries {
+		total += len(e.Ops)
+	}
+	ops := make([]MemRec, 0, total)
+	for i := range cp.Entries {
+		start := len(ops)
+		ops = append(ops, cp.Entries[i].Ops...)
+		cp.Entries[i].Ops = ops[start:len(ops):len(ops)]
+	}
 	l.lastClean = &cp
 }
 

@@ -55,10 +55,14 @@ type lane struct {
 	lspu    *LSPU
 	rcu     *RCU
 
-	// Segment under construction.
+	// Segment under construction. entries and ops are reused across
+	// segments: ops is the arena backing every entry's Ops records
+	// (EntryFromEffectArena), truncated together with entries at each
+	// checkpoint, so steady-state logging allocates nothing.
 	segStart   emu.ArchState
 	segSeq     int
 	entries    []Entry
+	ops        []MemRec
 	segInsts   uint64
 	segBytes   int
 	segLines   int
@@ -191,6 +195,10 @@ func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
 		pos:  s.layout.Main(idx % len(s.layout.MainPos)),
 		lspu: NewLSPU(s.cfg.HashMode),
 		rcu:  NewRCU(s.cfg.HashMode),
+		// Pre-size the log buffers for a typical segment so early
+		// segments don't grow them incrementally.
+		entries: make([]Entry, 0, 1024),
+		ops:     make([]MemRec, 0, 1024),
 	}
 	l.res = LaneResult{
 		Name: p.w.Name, Hart: hart, FirstDetectionInst: -1,
@@ -357,7 +365,7 @@ func (s *System) runSegment(l *lane) error {
 
 		pushed := 0
 		if l.segChecked {
-			if entry, ok := EntryFromEffect(&eff); ok {
+			if entry, ok := EntryFromEffectArena(&eff, &l.ops); ok {
 				l.entries = append(l.entries, entry)
 				pushed = l.lspu.Append(entry)
 				l.segLines += pushed
@@ -497,6 +505,7 @@ func (s *System) lslCapacityLines(ck *Checker) int {
 func (l *lane) beginSegment(hart *emu.Hart, capacityLines int, timeoutInsts uint64) {
 	l.segStart = hart.State
 	l.entries = l.entries[:0]
+	l.ops = l.ops[:0]
 	l.segInsts = 0
 	l.segBytes = 0
 	l.segLines = 0

@@ -41,7 +41,9 @@ func (a *AblationResult) Table() string {
 }
 
 // Ablation runs the study.
-func Ablation(sc Scale) (*AblationResult, error) {
+func Ablation(sc Scale) (*AblationResult, error) { return ablation(defaultEngine(), sc) }
+
+func ablation(e *Engine, sc Scale) (*AblationResult, error) {
 	base := func() core.Config { return core.DefaultConfig(a510Spec(4, 2.0)) }
 	variants := []NamedConfig{
 		{Label: "ParaVerser (all mechanisms)", Cfg: base()},
@@ -79,16 +81,29 @@ func Ablation(sc Scale) (*AblationResult, error) {
 		variants = append(variants, NamedConfig{Label: "opportunistic + 1-in-4 sampling (fn.18)", Cfg: cfg})
 	}
 
+	benches := sc.benchmarks()
+	baseF := make(map[string]*Future, len(benches))
+	runF := make(map[string]map[string]*Future, len(variants))
+	for _, nc := range variants {
+		runF[nc.Label] = make(map[string]*Future, len(benches))
+	}
+	for _, bench := range benches {
+		baseF[bench] = sc.submitBaseline(e, bench)
+		for _, nc := range variants {
+			runF[nc.Label][bench] = e.SubmitSpec(nc.Cfg, bench, sc.Insts, sc.Warmup)
+		}
+	}
+
 	out := &AblationResult{}
 	for _, nc := range variants {
 		var slows, covs []float64
 		var bpiSum float64
-		for _, bench := range sc.benchmarks() {
-			baseNS, err := sc.baselineNS(bench)
+		for _, bench := range benches {
+			baseNS, err := laneTimeNS(baseF[bench])
 			if err != nil {
 				return nil, err
 			}
-			res, err := sc.runSpec(nc.Cfg, bench)
+			res, err := runF[nc.Label][bench].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("ablation %s/%s: %w", nc.Label, bench, err)
 			}
@@ -104,7 +119,7 @@ func Ablation(sc Scale) (*AblationResult, error) {
 			Label:       nc.Label,
 			SlowdownPct: (stats.Geomean(slows) - 1) * 100,
 			CoveragePct: stats.Mean(covs),
-			LogBPI:      bpiSum / float64(len(sc.benchmarks())),
+			LogBPI:      bpiSum / float64(len(benches)),
 		})
 	}
 	out.Notes = append(out.Notes,

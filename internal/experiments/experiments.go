@@ -98,66 +98,52 @@ func (sc Scale) faultBenchmarks() []string {
 	return []string{"bwaves", "deepsjeng", "imagick", "perlbench"}
 }
 
-// progCache builds each benchmark program once; generation (working-set
-// initialisation) dominates otherwise.
-var progCache sync.Map // string -> *isa.Program
+// progCache holds one singleflight entry per benchmark program;
+// generation (working-set initialisation) dominates otherwise, and two
+// goroutines racing on an uncached benchmark must not both pay it.
+var progCache sync.Map // string -> *progEntry
+
+type progEntry struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
 
 func specProg(name string) (*isa.Program, error) {
-	if v, ok := progCache.Load(name); ok {
-		return v.(*isa.Program), nil
-	}
-	p, err := spec.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := p.Build(1 << 40)
-	if err != nil {
-		return nil, err
-	}
-	progCache.Store(name, prog)
-	return prog, nil
+	v, _ := progCache.LoadOrStore(name, &progEntry{})
+	e := v.(*progEntry)
+	e.once.Do(func() {
+		p, err := spec.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog, e.err = p.Build(1 << 40)
+	})
+	return e.prog, e.err
 }
 
-// runSpecW executes one benchmark under cfg with an explicit measurement
-// window.
-func runSpecW(cfg core.Config, name string, insts, warmup int64) (*core.Result, error) {
-	prog, err := specProg(name)
-	if err != nil {
-		return nil, err
-	}
-	return core.Run(cfg, []core.Workload{{
-		Name: name, Prog: prog, MaxInsts: insts, WarmupInsts: warmup,
-	}})
-}
-
-// runSpec executes one benchmark under cfg at the scale's window.
-func (sc Scale) runSpec(cfg core.Config, name string) (*core.Result, error) {
-	return runSpecW(cfg, name, sc.Insts, sc.Warmup)
-}
-
-// baseKey caches baseline times per benchmark+window.
-type baseKey struct {
-	name          string
-	insts, warmup int64
-}
-
-var baseCache sync.Map // baseKey -> float64 (TimeNS)
-
-// baselineNS returns the no-checking run time for a benchmark.
-func (sc Scale) baselineNS(name string) (float64, error) {
-	k := baseKey{name, sc.Insts, sc.Warmup}
-	if v, ok := baseCache.Load(k); ok {
-		return v.(float64), nil
-	}
+// baselineCfg is the no-checking configuration every slowdown figure
+// normalises against.
+func baselineCfg() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Checkers = nil
-	res, err := sc.runSpec(cfg, name)
+	return cfg
+}
+
+// submitBaseline schedules (or cache-hits) the no-checking run for a
+// benchmark at the scale's window.
+func (sc Scale) submitBaseline(e *Engine, name string) *Future {
+	return e.SubmitSpec(baselineCfg(), name, sc.Insts, sc.Warmup)
+}
+
+// laneTimeNS waits for a single-lane future and returns its run time.
+func laneTimeNS(f *Future) (float64, error) {
+	res, err := f.Wait()
 	if err != nil {
 		return 0, err
 	}
-	t := res.Lanes[0].TimeNS
-	baseCache.Store(k, t)
-	return t, nil
+	return res.Lanes[0].TimeNS, nil
 }
 
 // NamedConfig pairs a label with a system configuration.
@@ -186,6 +172,9 @@ func (r *SeriesResult) Geomean(config string) float64 {
 		if v, ok := vals[b]; ok {
 			xs = append(xs, 1+v/100)
 		}
+	}
+	if len(xs) == 0 {
+		return 0
 	}
 	return (stats.Geomean(xs) - 1) * 100
 }

@@ -20,7 +20,9 @@ func Mixes() map[string][]string {
 // Fig10 reproduces the 4-core multi-process figure: slowdown of total CPI
 // per mix, per checker configuration, with companion columns excluding
 // the LSL NoC-traffic impact (the paper's coloured bars).
-func Fig10(sc Scale) (*SeriesResult, error) {
+func Fig10(sc Scale) (*SeriesResult, error) { return fig10(defaultEngine(), sc) }
+
+func fig10(e *Engine, sc Scale) (*SeriesResult, error) {
 	r := &SeriesResult{
 		Title:  "Fig. 10: 4-core multi-process SPEC mixes, full coverage",
 		Metric: "slowdown % of total CPI vs no-checking baseline",
@@ -38,40 +40,48 @@ func Fig10(sc Scale) (*SeriesResult, error) {
 	}
 
 	perLane := sc.Insts / 2 // 4 lanes: keep total work comparable
-	for _, mixName := range sortedKeys(Mixes()) {
-		benches := Mixes()[mixName]
+	mixNames := sortedKeys(Mixes())
+	baseF := make(map[string]*Future, len(mixNames))
+	runF := make(map[string]map[string]*Future, len(mixNames))
+	for _, mixName := range mixNames {
 		r.Benchmarks = append(r.Benchmarks, mixName)
 		var ws []core.Workload
-		for _, b := range benches {
+		for _, b := range Mixes()[mixName] {
 			prog, err := specProg(b)
 			if err != nil {
 				return nil, err
 			}
 			ws = append(ws, core.Workload{Name: b, Prog: prog, MaxInsts: perLane})
 		}
-
-		baseCfg := core.DefaultConfig()
-		baseCfg.Checkers = nil
-		baseRes, err := core.Run(baseCfg, ws)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 baseline %s: %w", mixName, err)
-		}
-		base := baseRes.TotalCPI(3.0)
-
+		baseF[mixName] = e.Submit(baselineCfg(), ws)
+		runF[mixName] = make(map[string]*Future, 2*len(configs))
 		for _, nc := range configs {
 			for _, lslOn := range []bool{true, false} {
 				cfg := nc.Cfg
 				cfg.LSLTrafficOnNoC = lslOn
-				res, err := core.Run(cfg, ws)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s/%s: %w", nc.Label, mixName, err)
-				}
-				if res.Detections() != 0 {
-					return nil, fmt.Errorf("fig10 %s/%s: clean run raised detections", nc.Label, mixName)
-				}
 				label := nc.Label
 				if !lslOn {
 					label += "-noLSLnoc"
+				}
+				runF[mixName][label] = e.Submit(cfg, ws)
+			}
+		}
+	}
+
+	for _, mixName := range mixNames {
+		baseRes, err := baseF[mixName].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("fig10 baseline %s: %w", mixName, err)
+		}
+		base := baseRes.TotalCPI(3.0)
+		for _, nc := range configs {
+			for _, label := range []string{nc.Label, nc.Label + "-noLSLnoc"} {
+				res, err := runF[mixName][label].Wait()
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s/%s: %w", label, mixName, err)
+				}
+				if res.Detections() != 0 {
+					return nil, fmt.Errorf("fig10 %s/%s: clean run raised detections", label, mixName)
 				}
 				r.Values[label][mixName] = (res.TotalCPI(3.0)/base - 1) * 100
 			}

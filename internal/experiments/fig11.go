@@ -7,13 +7,13 @@ import (
 	"paraverser/internal/noc"
 )
 
-// fig11 requires core for baseline construction.
-
 // Fig11 reproduces the NoC sensitivity study: full-coverage slowdown at
 // the highest checker frequencies on the fast mesh, the slow mesh
 // (128-bit, 1.5GHz), and the slow mesh with Hash Mode, plus a no-NoC-
 // impact companion column.
-func Fig11(sc Scale) (*SeriesResult, error) {
+func Fig11(sc Scale) (*SeriesResult, error) { return fig11(defaultEngine(), sc) }
+
+func fig11(e *Engine, sc Scale) (*SeriesResult, error) {
 	r := &SeriesResult{
 		Title:      "Fig. 11: NoC sensitivity, homogeneous 1xX2@3.0 checker, full coverage",
 		Metric:     "slowdown % vs no-checking baseline",
@@ -40,27 +40,36 @@ func Fig11(sc Scale) (*SeriesResult, error) {
 	// Checking overhead is measured against a no-checking baseline on the
 	// SAME mesh: the study isolates the cost of LSL traffic, not of the
 	// slower fabric itself.
-	baseline := func(mesh noc.Config, bench string) (float64, error) {
-		cfg := core.DefaultConfig()
-		cfg.Checkers = nil
+	submitBaseline := func(mesh noc.Config, bench string) *Future {
+		cfg := baselineCfg()
 		cfg.NoC = mesh
-		res, err := sc.runSpec(cfg, bench)
-		if err != nil {
-			return 0, err
-		}
-		return res.Lanes[0].TimeNS, nil
+		return e.SubmitSpec(cfg, bench, sc.Insts, sc.Warmup)
+	}
+	baseFastF := make(map[string]*Future, len(r.Benchmarks))
+	baseSlowF := make(map[string]*Future, len(r.Benchmarks))
+	runF := make(map[string]map[string]*Future, len(configs))
+	for _, nc := range configs {
+		runF[nc.Label] = make(map[string]*Future, len(r.Benchmarks))
 	}
 	for _, bench := range r.Benchmarks {
-		baseFast, err := baseline(noc.Fast(), bench)
+		baseFastF[bench] = submitBaseline(noc.Fast(), bench)
+		baseSlowF[bench] = submitBaseline(noc.Slow(), bench)
+		for _, nc := range configs {
+			runF[nc.Label][bench] = e.SubmitSpec(nc.Cfg, bench, sc.Insts, sc.Warmup)
+		}
+	}
+
+	for _, bench := range r.Benchmarks {
+		baseFast, err := laneTimeNS(baseFastF[bench])
 		if err != nil {
 			return nil, err
 		}
-		baseSlow, err := baseline(noc.Slow(), bench)
+		baseSlow, err := laneTimeNS(baseSlowF[bench])
 		if err != nil {
 			return nil, err
 		}
 		for _, nc := range configs {
-			res, err := sc.runSpec(nc.Cfg, bench)
+			res, err := runF[nc.Label][bench].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig11 %s/%s: %w", nc.Label, bench, err)
 			}

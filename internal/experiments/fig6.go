@@ -29,10 +29,17 @@ func fig6Configs() []NamedConfig {
 	}
 }
 
+// ed2pCfg is the 4xA510 configuration at one DVFS point.
+func ed2pCfg(f float64) core.Config {
+	return core.DefaultConfig(a510Spec(4, f))
+}
+
 // Fig6 reproduces the full-coverage slowdown figure: main-core slowdown
 // (percent) per benchmark for each checker configuration, including the
 // per-benchmark ED²P-minimal 4xA510 DVFS point.
-func Fig6(sc Scale) (*SeriesResult, error) {
+func Fig6(sc Scale) (*SeriesResult, error) { return fig6(defaultEngine(), sc) }
+
+func fig6(e *Engine, sc Scale) (*SeriesResult, error) {
 	r := &SeriesResult{
 		Title:      "Fig. 6: full-coverage slowdown by checker configuration",
 		Metric:     "slowdown % vs no-checking baseline",
@@ -48,13 +55,32 @@ func Fig6(sc Scale) (*SeriesResult, error) {
 	r.Order = append(r.Order, ed2pLabel)
 	r.Values[ed2pLabel] = make(map[string]float64)
 
+	// Submit the full (config × benchmark) matrix, the baselines and the
+	// DVFS sweep up front; the engine runs them in parallel and shares
+	// repeats.
+	baseF := make(map[string]*Future, len(r.Benchmarks))
+	runF := make(map[string]map[string]*Future, len(configs))
+	for _, nc := range configs {
+		runF[nc.Label] = make(map[string]*Future, len(r.Benchmarks))
+	}
 	for _, bench := range r.Benchmarks {
-		base, err := sc.baselineNS(bench)
+		baseF[bench] = sc.submitBaseline(e, bench)
+		for _, nc := range configs {
+			runF[nc.Label][bench] = e.SubmitSpec(nc.Cfg, bench, sc.Insts, sc.Warmup)
+		}
+		for _, f := range sc.ED2PFreqs {
+			e.SubmitSpec(ed2pCfg(f), bench, sc.Insts, sc.Warmup)
+		}
+	}
+
+	// Assemble in deterministic label/benchmark order.
+	for _, bench := range r.Benchmarks {
+		base, err := laneTimeNS(baseF[bench])
 		if err != nil {
 			return nil, err
 		}
 		for _, nc := range configs {
-			res, err := sc.runSpec(nc.Cfg, bench)
+			res, err := runF[nc.Label][bench].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s/%s: %w", nc.Label, bench, err)
 			}
@@ -63,7 +89,7 @@ func Fig6(sc Scale) (*SeriesResult, error) {
 			}
 			r.Values[nc.Label][bench] = (res.Lanes[0].TimeNS/base - 1) * 100
 		}
-		slow, _, err := ed2pPoint(sc, bench, base)
+		slow, _, err := ed2pPoint(e, sc, bench, base)
 		if err != nil {
 			return nil, err
 		}
@@ -78,32 +104,38 @@ func Fig6(sc Scale) (*SeriesResult, error) {
 
 // ed2pPoint searches the A510 DVFS points for the frequency minimising
 // energy x delay² on one benchmark, returning its slowdown percentage and
-// checking-energy overhead.
-func ed2pPoint(sc Scale, bench string, baseNS float64) (slowPct, energyOverhead float64, err error) {
+// checking-energy overhead. Every DVFS run goes through the engine's
+// cache, so points the figure (or an earlier study) already simulated are
+// not re-run.
+func ed2pPoint(e *Engine, sc Scale, bench string, baseNS float64) (slowPct, energyOverhead float64, err error) {
 	type point struct {
 		slow, overhead float64
+		energyJ, dNS   float64
 	}
 	points := make(map[float64]point, len(sc.ED2PFreqs))
-	var innerErr error
-	bestF, _, _ := power.MinimiseED2P(sc.ED2PFreqs, func(f float64) (float64, float64) {
-		cfg := core.DefaultConfig(a510Spec(4, f))
-		res, err := sc.runSpec(cfg, bench)
+	futs := make(map[float64]*Future, len(sc.ED2PFreqs))
+	for _, f := range sc.ED2PFreqs {
+		futs[f] = e.SubmitSpec(ed2pCfg(f), bench, sc.Insts, sc.Warmup)
+	}
+	for _, f := range sc.ED2PFreqs {
+		res, err := futs[f].Wait()
 		if err != nil {
-			innerErr = err
-			return 1e18, 1e18
+			return 0, 0, fmt.Errorf("fig6 ed2p %s @%.2gGHz: %w", bench, f, err)
 		}
-		rep, err := core.Energy(cfg, res)
+		rep, err := core.Energy(ed2pCfg(f), res)
 		if err != nil {
-			innerErr = err
-			return 1e18, 1e18
+			return 0, 0, fmt.Errorf("fig6 ed2p %s @%.2gGHz: %w", bench, f, err)
 		}
 		d := res.Lanes[0].TimeNS
-		points[f] = point{slow: (d/baseNS - 1) * 100, overhead: rep.Overhead}
-		return rep.MainJ + rep.CheckerJ, d
-	})
-	if innerErr != nil {
-		return 0, 0, fmt.Errorf("fig6 ed2p %s: %w", bench, innerErr)
+		points[f] = point{
+			slow: (d/baseNS - 1) * 100, overhead: rep.Overhead,
+			energyJ: rep.MainJ + rep.CheckerJ, dNS: d,
+		}
 	}
+	bestF, _, _ := power.MinimiseED2P(sc.ED2PFreqs, func(f float64) (float64, float64) {
+		p := points[f]
+		return p.energyJ, p.dNS
+	})
 	best := points[bestF]
 	return best.slow, best.overhead, nil
 }

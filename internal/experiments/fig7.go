@@ -29,6 +29,10 @@ func fig7Configs() []NamedConfig {
 // per configuration, plus the run-time instruction coverage the mode
 // achieves (section VII-B's 94-99% numbers).
 func Fig7(sc Scale) (slow, coverage *SeriesResult, err error) {
+	return fig7(defaultEngine(), sc)
+}
+
+func fig7(e *Engine, sc Scale) (slow, coverage *SeriesResult, err error) {
 	slow = &SeriesResult{
 		Title:      "Fig. 7: opportunistic-mode slowdown",
 		Metric:     "slowdown % vs no-checking baseline",
@@ -41,19 +45,33 @@ func Fig7(sc Scale) (slow, coverage *SeriesResult, err error) {
 		Benchmarks: sc.benchmarks(),
 		Values:     make(map[string]map[string]float64),
 	}
-	for _, nc := range fig7Configs() {
+	configs := fig7Configs()
+	for _, nc := range configs {
 		slow.Order = append(slow.Order, nc.Label)
 		coverage.Order = append(coverage.Order, nc.Label)
 		slow.Values[nc.Label] = make(map[string]float64)
 		coverage.Values[nc.Label] = make(map[string]float64)
 	}
+
+	baseF := make(map[string]*Future, len(slow.Benchmarks))
+	runF := make(map[string]map[string]*Future, len(configs))
+	for _, nc := range configs {
+		runF[nc.Label] = make(map[string]*Future, len(slow.Benchmarks))
+	}
 	for _, bench := range slow.Benchmarks {
-		base, err := sc.baselineNS(bench)
+		baseF[bench] = sc.submitBaseline(e, bench)
+		for _, nc := range configs {
+			runF[nc.Label][bench] = e.SubmitSpec(nc.Cfg, bench, sc.Insts, sc.Warmup)
+		}
+	}
+
+	for _, bench := range slow.Benchmarks {
+		base, err := laneTimeNS(baseF[bench])
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, nc := range fig7Configs() {
-			res, err := sc.runSpec(nc.Cfg, bench)
+		for _, nc := range configs {
+			res, err := runF[nc.Label][bench].Wait()
 			if err != nil {
 				return nil, nil, fmt.Errorf("fig7 %s/%s: %w", nc.Label, bench, err)
 			}

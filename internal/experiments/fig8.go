@@ -55,12 +55,33 @@ func withFault(cfg core.Config, f fault.Fault) (core.Config, *fault.Injector, er
 	return cfg, inj, nil
 }
 
+// submitFault schedules one injected run of bench over the engine's
+// pool. Interceptor configs are never cached, so each submission keeps
+// its private injector and fire counters.
+func submitFault(e *Engine, cfg core.Config, bench string, f fault.Fault, horizon int64) (*Future, *fault.Injector, error) {
+	prog, err := specProg(bench)
+	if err != nil {
+		return nil, nil, err
+	}
+	fcfg, inj, err := withFault(cfg, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	fut := e.Submit(fcfg, []core.Workload{{Name: bench, Prog: prog, MaxInsts: horizon}})
+	return fut, inj, nil
+}
+
 // Fig8 injects single-bit stuck-at hard faults on a checker core
 // (section VII-B's methodology) and measures, per configuration, the
 // fraction of detectable faults the opportunistic mode catches within the
 // horizon. Detectability ground truth is a full-coverage run with the
-// same fault.
-func Fig8(sc Scale) (*Fig8Result, error) {
+// same fault. Fault trials keep their per-trial deterministic seeds and
+// fan out over the engine's pool; results are tallied in fixed
+// (benchmark, config, fault) order, so the tables are byte-identical at
+// any worker count.
+func Fig8(sc Scale) (*Fig8Result, error) { return fig8(defaultEngine(), sc) }
+
+func fig8(e *Engine, sc Scale) (*Fig8Result, error) {
 	out := &Fig8Result{Coverage: &SeriesResult{
 		Title:      "Fig. 8: hard-error detection coverage, opportunistic mode",
 		Metric:     "% of detectable injected faults caught within horizon",
@@ -76,21 +97,37 @@ func Fig8(sc Scale) (*Fig8Result, error) {
 	fullCfg := core.DefaultConfig(x2Spec(1, 3.0)) // ground truth: full coverage
 	faults := fault.Campaign(99, sc.FaultTrials, fuCounts())
 
+	// Phase 1: ground-truth full-coverage runs for every (benchmark,
+	// fault), all in flight at once.
+	type gtRun struct {
+		fut *Future
+		inj *fault.Injector
+	}
+	ground := make(map[string][]gtRun, len(out.Coverage.Benchmarks))
+	for _, bench := range out.Coverage.Benchmarks {
+		runs := make([]gtRun, 0, len(faults))
+		for _, f := range faults {
+			fut, inj, err := submitFault(e, fullCfg, bench, f, sc.FaultHorizon)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, gtRun{fut, inj})
+		}
+		ground[bench] = runs
+	}
+
 	var injected, fullDetected, masked int
 	var detSum, detN float64
 	for _, bench := range out.Coverage.Benchmarks {
 		detectable := make([]fault.Fault, 0, len(faults))
-		for _, f := range faults {
+		for i, f := range faults {
 			injected++
-			cfg, inj, err := withFault(fullCfg, f)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runSpecW(cfg, bench, sc.FaultHorizon, 0)
+			gr := ground[bench][i]
+			res, err := gr.fut.Wait()
 			if err != nil {
 				return nil, fmt.Errorf("fig8 ground truth %s: %w", bench, err)
 			}
-			switch fault.Classify(inj, res.Detections() > 0) {
+			switch fault.Classify(gr.inj, res.Detections() > 0) {
 			case fault.Detected:
 				fullDetected++
 				detectable = append(detectable, f)
@@ -98,14 +135,24 @@ func Fig8(sc Scale) (*Fig8Result, error) {
 				masked++
 			}
 		}
+		// Phase 2: the opportunistic sweep over the detectable set,
+		// submitted as one matrix.
+		oppF := make(map[string][]*Future, len(configs))
 		for _, nc := range configs {
-			caught := 0
+			futs := make([]*Future, 0, len(detectable))
 			for _, f := range detectable {
-				cfg, _, err := withFault(nc.Cfg, f)
+				fut, _, err := submitFault(e, nc.Cfg, bench, f, sc.FaultHorizon)
 				if err != nil {
 					return nil, err
 				}
-				res, err := runSpecW(cfg, bench, sc.FaultHorizon, 0)
+				futs = append(futs, fut)
+			}
+			oppF[nc.Label] = futs
+		}
+		for _, nc := range configs {
+			caught := 0
+			for _, fut := range oppF[nc.Label] {
+				res, err := fut.Wait()
 				if err != nil {
 					return nil, fmt.Errorf("fig8 %s/%s: %w", nc.Label, bench, err)
 				}

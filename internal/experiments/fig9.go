@@ -27,10 +27,21 @@ func gapPrograms(sc Scale) []core.Workload {
 	}
 }
 
+// fig9Workloads assembles the full GAP + PARSEC workload list.
+func fig9Workloads(sc Scale) []core.Workload {
+	ws := gapPrograms(sc)
+	for _, k := range parsec.Kernels(sc.ParsecScale) {
+		ws = append(ws, core.Workload{Name: "parsec." + k.Name, Prog: k.Prog, MaxInsts: sc.Insts * 3})
+	}
+	return ws
+}
+
 // Fig9 reproduces the data-oriented and parallel-workload figure:
 // full-coverage slowdown of the GAP kernels and the two-threaded PARSEC
 // kernels with 1-4 A510 checkers per main core.
-func Fig9(sc Scale) (*SeriesResult, error) {
+func Fig9(sc Scale) (*SeriesResult, error) { return fig9(defaultEngine(), sc) }
+
+func fig9(e *Engine, sc Scale) (*SeriesResult, error) {
 	r := &SeriesResult{
 		Title:  "Fig. 9: full-coverage slowdown, GAP and PARSEC, A510@2GHz checkers per main core",
 		Metric: "slowdown % vs no-checking baseline",
@@ -43,38 +54,35 @@ func Fig9(sc Scale) (*SeriesResult, error) {
 		r.Values[label] = make(map[string]float64)
 	}
 
-	run := func(w core.Workload) error {
+	ws := fig9Workloads(sc)
+	baseF := make([]*Future, len(ws))
+	runF := make(map[int][]*Future, len(counts))
+	for _, n := range counts {
+		runF[n] = make([]*Future, len(ws))
+	}
+	for i, w := range ws {
 		r.Benchmarks = append(r.Benchmarks, w.Name)
-		baseCfg := core.DefaultConfig()
-		baseCfg.Checkers = nil
-		baseRes, err := core.Run(baseCfg, []core.Workload{w})
+		baseF[i] = e.Submit(baselineCfg(), []core.Workload{w})
+		for _, n := range counts {
+			runF[n][i] = e.Submit(core.DefaultConfig(a510Spec(n, 2.0)), []core.Workload{w})
+		}
+	}
+
+	for i, w := range ws {
+		baseRes, err := baseF[i].Wait()
 		if err != nil {
-			return fmt.Errorf("fig9 baseline %s: %w", w.Name, err)
+			return nil, fmt.Errorf("fig9 baseline %s: %w", w.Name, err)
 		}
 		base := baseRes.TimeNS()
 		for _, n := range counts {
-			cfg := core.DefaultConfig(a510Spec(n, 2.0))
-			res, err := core.Run(cfg, []core.Workload{w})
+			res, err := runF[n][i].Wait()
 			if err != nil {
-				return fmt.Errorf("fig9 %dxA510 %s: %w", n, w.Name, err)
+				return nil, fmt.Errorf("fig9 %dxA510 %s: %w", n, w.Name, err)
 			}
 			if res.Detections() != 0 {
-				return fmt.Errorf("fig9 %s: clean run raised detections", w.Name)
+				return nil, fmt.Errorf("fig9 %s: clean run raised detections", w.Name)
 			}
 			r.Values[fmt.Sprintf("%dxA510", n)][w.Name] = (res.TimeNS()/base - 1) * 100
-		}
-		return nil
-	}
-
-	for _, w := range gapPrograms(sc) {
-		if err := run(w); err != nil {
-			return nil, err
-		}
-	}
-	for _, k := range parsec.Kernels(sc.ParsecScale) {
-		w := core.Workload{Name: "parsec." + k.Name, Prog: k.Prog, MaxInsts: sc.Insts * 3}
-		if err := run(w); err != nil {
-			return nil, err
 		}
 	}
 	r.Notes = append(r.Notes,

@@ -122,6 +122,10 @@ func (o *OpportunityResult) Table() string {
 // when devoted to full-coverage checking, for a GAP-like memory-bound
 // workload and a PARSEC-like compute workload.
 func Opportunity(sc Scale) (*OpportunityResult, error) {
+	return opportunity(defaultEngine(), sc)
+}
+
+func opportunity(e *Engine, sc Scale) (*OpportunityResult, error) {
 	out := &OpportunityResult{}
 
 	for _, flavour := range []struct {
@@ -136,30 +140,42 @@ func Opportunity(sc Scale) (*OpportunityResult, error) {
 		{"PARSEC-like", false, 3, int(sc.Insts / 40)},
 	} {
 		items := flavour.items
+		// Each harts-count maps to one program, built once: T1 and the
+		// checking run share the single-hart program (and so share a cache
+		// key up to config), while the parallel-compute runs get theirs.
+		prog1 := mapWorkload(1, items, flavour.memBound)
+		progHet := mapWorkload(1+flavour.littles, items, flavour.memBound)
+		progHomog := mapWorkload(2, items, flavour.memBound)
+
 		// T1: one X2 alone.
-		t1, err := runMap(nil, 1, items, flavour.memBound, nil)
-		if err != nil {
-			return nil, err
-		}
+		f1 := submitMap(e, nil, prog1, nil)
 		// Heterogeneous parallel compute: X2 + little cores as workers.
 		lanes := []core.LaneMain{{CPU: cpu.X2(), FreqGHz: 3.0}}
 		for i := 0; i < flavour.littles; i++ {
 			lanes = append(lanes, core.LaneMain{CPU: cpu.A510(), FreqGHz: 2.0})
 		}
-		tHet, err := runMap(lanes, 1+flavour.littles, items, flavour.memBound, nil)
-		if err != nil {
-			return nil, err
-		}
+		fHet := submitMap(e, lanes, progHet, nil)
 		// Homogeneous parallel compute: two X2s.
-		tHomog, err := runMap([]core.LaneMain{
+		fHomog := submitMap(e, []core.LaneMain{
 			{CPU: cpu.X2(), FreqGHz: 3.0}, {CPU: cpu.X2(), FreqGHz: 3.0},
-		}, 2, items, flavour.memBound, nil)
-		if err != nil {
-			return nil, err
-		}
+		}, progHomog, nil)
 		// Same little cores devoted to full-coverage checking instead.
 		ck := []core.CheckerSpec{a510Spec(flavour.littles, 2.0)}
-		tCheck, err := runMap(nil, 1, items, flavour.memBound, ck)
+		fCheck := submitMap(e, nil, prog1, ck)
+
+		t1, err := mapTimeNS(f1)
+		if err != nil {
+			return nil, err
+		}
+		tHet, err := mapTimeNS(fHet)
+		if err != nil {
+			return nil, err
+		}
+		tHomog, err := mapTimeNS(fHomog)
+		if err != nil {
+			return nil, err
+		}
+		tCheck, err := mapTimeNS(fCheck)
 		if err != nil {
 			return nil, err
 		}
@@ -176,12 +192,16 @@ func Opportunity(sc Scale) (*OpportunityResult, error) {
 	return out, nil
 }
 
-// runMap executes a map workload and returns completion time.
-func runMap(lanes []core.LaneMain, harts, items int, memBound bool, checkers []core.CheckerSpec) (float64, error) {
+// submitMap schedules a map workload over the engine's pool.
+func submitMap(e *Engine, lanes []core.LaneMain, prog *isa.Program, checkers []core.CheckerSpec) *Future {
 	cfg := core.DefaultConfig(checkers...)
 	cfg.LaneMains = lanes
-	prog := mapWorkload(harts, items, memBound)
-	res, err := core.Run(cfg, []core.Workload{{Name: prog.Name, Prog: prog}})
+	return e.Submit(cfg, []core.Workload{{Name: prog.Name, Prog: prog}})
+}
+
+// mapTimeNS waits for a map run and returns its completion time.
+func mapTimeNS(f *Future) (float64, error) {
+	res, err := f.Wait()
 	if err != nil {
 		return 0, err
 	}

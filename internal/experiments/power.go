@@ -39,7 +39,9 @@ func (p *PowerResult) Table() string {
 // Power reproduces the energy-overhead study: homogeneous (dual-core-
 // lockstep-comparable), the heterogeneous points, the per-benchmark
 // ED²P-minimal DVFS configuration, and the prior-work dedicated cores.
-func Power(sc Scale) (*PowerResult, error) {
+func Power(sc Scale) (*PowerResult, error) { return powerStudy(defaultEngine(), sc) }
+
+func powerStudy(e *Engine, sc Scale) (*PowerResult, error) {
 	out := &PowerResult{}
 	configs := []NamedConfig{
 		{Label: "1xX2@3.0 (DCLS-comparable)", Cfg: core.DefaultConfig(x2Spec(1, 3.0))},
@@ -47,14 +49,31 @@ func Power(sc Scale) (*PowerResult, error) {
 		{Label: "4xA510@2.0", Cfg: core.DefaultConfig(a510Spec(4, 2.0))},
 		{Label: "ParaDox 16xA35 (dedicated)", Cfg: lockstep.ParaDox()},
 	}
+
+	benches := sc.benchmarks()
+	baseF := make(map[string]*Future, len(benches))
+	runF := make(map[string]map[string]*Future, len(configs))
+	for _, nc := range configs {
+		runF[nc.Label] = make(map[string]*Future, len(benches))
+	}
+	for _, bench := range benches {
+		baseF[bench] = sc.submitBaseline(e, bench)
+		for _, nc := range configs {
+			runF[nc.Label][bench] = e.SubmitSpec(nc.Cfg, bench, sc.Insts, sc.Warmup)
+		}
+		for _, f := range sc.ED2PFreqs {
+			e.SubmitSpec(ed2pCfg(f), bench, sc.Insts, sc.Warmup)
+		}
+	}
+
 	for _, nc := range configs {
 		var overheads, slows []float64
-		for _, bench := range sc.benchmarks() {
-			base, err := sc.baselineNS(bench)
+		for _, bench := range benches {
+			base, err := laneTimeNS(baseF[bench])
 			if err != nil {
 				return nil, err
 			}
-			res, err := sc.runSpec(nc.Cfg, bench)
+			res, err := runF[nc.Label][bench].Wait()
 			if err != nil {
 				return nil, fmt.Errorf("power %s/%s: %w", nc.Label, bench, err)
 			}
@@ -72,14 +91,16 @@ func Power(sc Scale) (*PowerResult, error) {
 		})
 	}
 
-	// ED²P-minimal 4xA510: per-benchmark best DVFS point.
+	// ED²P-minimal 4xA510: per-benchmark best DVFS point. The sweep was
+	// submitted above (and typically already cached by fig. 6), so this
+	// only assembles.
 	var overheads, slows []float64
-	for _, bench := range sc.benchmarks() {
-		base, err := sc.baselineNS(bench)
+	for _, bench := range benches {
+		base, err := laneTimeNS(baseF[bench])
 		if err != nil {
 			return nil, err
 		}
-		slow, overhead, err := ed2pPoint(sc, bench, base)
+		slow, overhead, err := ed2pPoint(e, sc, bench, base)
 		if err != nil {
 			return nil, err
 		}

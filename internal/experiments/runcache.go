@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"paraverser/internal/core"
+)
+
+// runKey identifies one simulation run for the engine's content-addressed
+// cache: a fingerprint of the system configuration plus the identity and
+// measurement window of every workload. Two Submit calls with equal keys
+// are guaranteed to describe the same deterministic simulation, so the
+// engine computes the run once and shares the Result.
+type runKey struct {
+	cfg string // config fingerprint (sha256 hex)
+	ws  string // workload identities: name|progID|insts|warmup per entry
+}
+
+// cacheable reports whether a configuration's runs may be memoized. Runs
+// with a checker-side fault interceptor carry per-run mutable state (fire
+// counters on the injector), so every submission must execute privately.
+func cacheable(cfg *core.Config) bool { return cfg.CheckerInterceptor == nil }
+
+// fingerprint hashes every semantically relevant field of a Config.
+// Pointer fields are dereferenced so two independently built but equal
+// configurations (e.g. two core.DefaultConfig calls) collide, which is
+// what makes cross-figure deduplication work. fmt prints map fields in
+// sorted key order, so the rendering is deterministic.
+//
+// fingerprintedConfigFields pins the number of fields this function must
+// cover; TestFingerprintCoversConfig fails when core.Config grows a field
+// that is not accounted for here.
+const fingerprintedConfigFields = 22
+
+func fingerprint(cfg *core.Config) string {
+	h := sha256.New()
+	writeConfig(h, cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeConfig(w io.Writer, cfg *core.Config) {
+	// 1-4: main core, frequency, per-lane overrides, checker pool.
+	fmt.Fprintf(w, "main=%+v|%v\n", cfg.Main, cfg.MainFreqGHz)
+	fmt.Fprintf(w, "lanes=%+v\n", cfg.LaneMains)
+	fmt.Fprintf(w, "checkers=%+v\n", cfg.Checkers)
+	// 5-10: operating mode and checkpointing behaviour.
+	fmt.Fprintf(w, "mode=%v hash=%v eager=%v timeout=%v dedlsl=%v ckpt=%v/%v\n",
+		cfg.Mode, cfg.HashMode, cfg.EagerWake, cfg.TimeoutInsts,
+		cfg.DedicatedLSLBytes, cfg.CheckpointStallCycles, cfg.CheckpointDrains)
+	// 11-12: interrupt and sampling policy.
+	fmt.Fprintf(w, "irq=%v sample=%v\n", cfg.InterruptIntervalInsts, cfg.SamplePeriod)
+	// 13-15: mesh, layout (dereferenced), LSL traffic accounting.
+	fmt.Fprintf(w, "noc=%+v lsltraffic=%v\n", cfg.NoC, cfg.LSLTrafficOnNoC)
+	if cfg.Layout != nil {
+		fmt.Fprintf(w, "layout=%+v\n", *cfg.Layout)
+	}
+	// 16-18: shared LLC and memory.
+	fmt.Fprintf(w, "l3=%+v hit=%v dram=%+v\n", cfg.L3, cfg.L3HitNS, cfg.DRAM)
+	// 19: interceptor presence (non-nil configs are never cached, but the
+	// bit keeps the fingerprint total and honest).
+	fmt.Fprintf(w, "intc=%v\n", cfg.CheckerInterceptor != nil)
+	// 20-22: recovery policy and workload seed. Recovery.Quarantine rides
+	// along inside %+v.
+	fmt.Fprintf(w, "recovery=%+v seed=%v\n", cfg.Recovery, cfg.Seed)
+}
+
+// workloadsKey renders the workload list's identity. Programs built from
+// the SPEC generator are canonicalised by name (specProg guarantees one
+// immutable *isa.Program per name per process); any other program is
+// identified by pointer, which the cache entry keeps alive so the address
+// cannot be recycled while the key is live.
+func workloadsKey(ws []core.Workload) string {
+	out := ""
+	for i := range ws {
+		w := &ws[i]
+		id := fmt.Sprintf("%p", w.Prog)
+		if p, ok := progCache.Load(w.Name); ok {
+			if e := p.(*progEntry); e.prog == w.Prog {
+				id = "spec:" + w.Name
+			}
+		}
+		out += fmt.Sprintf("%s|%s|%d|%d\n", w.Name, id, w.MaxInsts, w.WarmupInsts)
+	}
+	return out
+}
+
+func keyFor(cfg *core.Config, ws []core.Workload) runKey {
+	return runKey{cfg: fingerprint(cfg), ws: workloadsKey(ws)}
+}

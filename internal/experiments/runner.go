@@ -1,0 +1,196 @@
+// The run engine: every figure and study in this package drives its
+// (configuration × benchmark) simulation matrix through a shared bounded
+// worker pool fronted by a content-addressed result cache. Entry points
+// submit their full matrix up front and assemble tables from completed
+// futures in deterministic label/benchmark order, so output is
+// byte-identical at any worker count, while independent simulations
+// saturate the available cores and repeated runs (the no-checking
+// baselines every figure needs, the DVFS points both fig. 6 and the
+// power study sweep) are computed exactly once per process.
+//
+// Concurrency safety: core.Run builds a private System — mesh, LLC,
+// DRAM model, per-lane cores and machines — per call, so concurrent
+// independent runs never share mutable state. The shared inputs are
+// read-only: *isa.Program (the emulator copies the data segment into a
+// fresh Memory per machine; instruction slices are never written),
+// cpu.Config values (FU maps are only read), and *noc.Layout (only
+// read). The fault campaign engine (internal/fault) established this
+// fan-out pattern; the engine here extends it to every experiment.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"paraverser/internal/core"
+)
+
+// Engine fans independent simulation runs out over a bounded worker pool
+// and memoizes their results. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[runKey]*runCall
+
+	runs atomic.Int64 // simulations actually executed
+	hits atomic.Int64 // submissions served by cache or singleflight
+}
+
+// NewEngine returns an engine whose pool admits workers concurrent
+// simulations (<= 0 selects GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		sem:   make(chan struct{}, workers),
+		cache: make(map[runKey]*runCall),
+	}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Runs returns how many simulations the engine has executed (cache
+// misses); Hits how many submissions were deduplicated against an
+// in-flight or completed identical run.
+func (e *Engine) Runs() int64 { return e.runs.Load() }
+
+// Hits returns the number of deduplicated submissions.
+func (e *Engine) Hits() int64 { return e.hits.Load() }
+
+// runCall is one scheduled simulation; futures returned for equal keys
+// share it (singleflight), so concurrent requests for the same run wait
+// on one execution.
+type runCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+	// ws pins the workload programs for the cache's lifetime so a
+	// pointer-identified program address can never be recycled while its
+	// key is live.
+	ws []core.Workload
+}
+
+// Future is a handle to a submitted run.
+type Future struct{ c *runCall }
+
+// Wait blocks until the run completes and returns its result. The
+// Result is shared between all futures with the same key: callers must
+// treat it as read-only.
+func (f *Future) Wait() (*core.Result, error) {
+	<-f.c.done
+	return f.c.res, f.c.err
+}
+
+// Submit schedules one simulation of ws under cfg and returns its
+// future. Cacheable submissions (no fault interceptor) are deduplicated
+// content-addressed: an identical earlier submission — completed or
+// still in flight — is shared rather than re-run. Uncacheable
+// submissions always execute privately but still occupy pool slots, so
+// fault-injection matrices parallelise under the same bound.
+func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
+	if !cacheable(&cfg) {
+		c := &runCall{done: make(chan struct{}), ws: ws}
+		e.start(cfg, c)
+		return &Future{c: c}
+	}
+	key := keyFor(&cfg, ws)
+	e.mu.Lock()
+	if c, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return &Future{c: c}
+	}
+	c := &runCall{done: make(chan struct{}), ws: ws}
+	e.cache[key] = c
+	e.mu.Unlock()
+	e.start(cfg, c)
+	return &Future{c: c}
+}
+
+// SubmitSpec schedules one SPEC benchmark run with an explicit
+// measurement window. The program is resolved inside the pooled task, so
+// first-time working-set generation parallelises with other runs.
+func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) *Future {
+	if cacheable(&cfg) {
+		key := runKey{cfg: fingerprint(&cfg), ws: specKey(bench, insts, warmup)}
+		e.mu.Lock()
+		if c, ok := e.cache[key]; ok {
+			e.mu.Unlock()
+			e.hits.Add(1)
+			return &Future{c: c}
+		}
+		c := &runCall{done: make(chan struct{})}
+		e.cache[key] = c
+		e.mu.Unlock()
+		e.startSpec(cfg, bench, insts, warmup, c)
+		return &Future{c: c}
+	}
+	c := &runCall{done: make(chan struct{})}
+	e.startSpec(cfg, bench, insts, warmup, c)
+	return &Future{c: c}
+}
+
+// specKey is the workload identity of a single canonical SPEC run:
+// specProg guarantees one immutable program per name per process, so the
+// name alone identifies it.
+func specKey(bench string, insts, warmup int64) string {
+	return fmt.Sprintf("spec-run:%s|%d|%d", bench, insts, warmup)
+}
+
+func (e *Engine) start(cfg core.Config, c *runCall) {
+	go func() {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		e.runs.Add(1)
+		c.res, c.err = core.Run(cfg, c.ws)
+		close(c.done)
+	}()
+}
+
+func (e *Engine) startSpec(cfg core.Config, bench string, insts, warmup int64, c *runCall) {
+	go func() {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		prog, err := specProg(bench)
+		if err != nil {
+			c.err = err
+			close(c.done)
+			return
+		}
+		c.ws = []core.Workload{{
+			Name: bench, Prog: prog, MaxInsts: insts, WarmupInsts: warmup,
+		}}
+		e.runs.Add(1)
+		c.res, c.err = core.Run(cfg, c.ws)
+		close(c.done)
+	}()
+}
+
+// defaultEngine is the process-wide engine the exported entry points
+// share: `paraverser all` runs every figure over one cache, so the
+// common baselines are simulated once for the whole suite.
+var (
+	engineMu  sync.RWMutex
+	defEngine = NewEngine(0)
+)
+
+func defaultEngine() *Engine {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	return defEngine
+}
+
+// SetWorkers replaces the shared engine with a fresh one bounded at n
+// concurrent simulations (<= 0 selects GOMAXPROCS). Call it before
+// running experiments: the previous engine's cache is discarded.
+func SetWorkers(n int) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	defEngine = NewEngine(n)
+}

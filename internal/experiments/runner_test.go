@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"paraverser/internal/core"
+	"paraverser/internal/fault"
+)
+
+// faultProbe is a fixed fault for cacheability tests.
+func faultProbe() fault.Fault {
+	return fault.Campaign(99, 1, fuCounts())[0]
+}
+
+// tinyScale is the smallest scale that still exercises the full fig. 6/7
+// matrices (baselines, every configuration, the DVFS sweep).
+func tinyScale() Scale {
+	return Scale{
+		Insts:         40_000,
+		Warmup:        20_000,
+		Benchmarks:    []string{"exchange2", "mcf"},
+		GAPScale:      8,
+		GAPEdgeFactor: 6,
+		ParsecScale:   200,
+		ED2PFreqs:     []float64{1.4, 2.0},
+	}
+}
+
+// TestWorkerCountDeterminism asserts the engine's core guarantee: the
+// rendered tables are byte-identical no matter how many workers race over
+// the run matrix.
+func TestWorkerCountDeterminism(t *testing.T) {
+	sc := tinyScale()
+	type tables struct{ fig6, fig7slow, fig7cov string }
+	var want tables
+	for i, workers := range []int{1, 2, 8} {
+		e := NewEngine(workers)
+		r6, err := fig6(e, sc)
+		if err != nil {
+			t.Fatalf("fig6 at %d workers: %v", workers, err)
+		}
+		slow, cov, err := fig7(e, sc)
+		if err != nil {
+			t.Fatalf("fig7 at %d workers: %v", workers, err)
+		}
+		got := tables{r6.Table(), slow.Table(), cov.Table()}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got.fig6 != want.fig6 {
+			t.Errorf("fig6 table differs between 1 and %d workers:\n%s\n--- vs ---\n%s", workers, got.fig6, want.fig6)
+		}
+		if got.fig7slow != want.fig7slow {
+			t.Errorf("fig7 slowdown table differs between 1 and %d workers", workers)
+		}
+		if got.fig7cov != want.fig7cov {
+			t.Errorf("fig7 coverage table differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestRunCacheMemoizes asserts a second identical figure performs zero
+// new simulations: every run is served from the engine's result cache.
+func TestRunCacheMemoizes(t *testing.T) {
+	sc := tinyScale()
+	e := NewEngine(2)
+	if _, err := fig6(e, sc); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterFirst := e.Runs()
+	if runsAfterFirst == 0 {
+		t.Fatal("first fig6 performed no simulations")
+	}
+	if _, err := fig6(e, sc); err != nil {
+		t.Fatal(err)
+	}
+	if e.Runs() != runsAfterFirst {
+		t.Errorf("second fig6 ran %d new simulations, want 0", e.Runs()-runsAfterFirst)
+	}
+	if e.Hits() == 0 {
+		t.Error("second fig6 recorded no cache hits")
+	}
+}
+
+// TestSubmitSingleflight asserts identical concurrent submissions share
+// one simulation.
+func TestSubmitSingleflight(t *testing.T) {
+	e := NewEngine(4)
+	cfg := baselineCfg()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.SubmitSpec(cfg, "exchange2", 20_000, 10_000).Wait(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Runs(); got != 1 {
+		t.Errorf("8 identical submissions performed %d simulations, want 1", got)
+	}
+}
+
+// TestFaultRunsNotCached asserts interceptor configs bypass the cache:
+// their injector state is private per run.
+func TestFaultRunsNotCached(t *testing.T) {
+	e := NewEngine(2)
+	cfg := core.DefaultConfig(x2Spec(1, 3.0))
+	if cacheable(&cfg) != true {
+		t.Fatal("clean config reported uncacheable")
+	}
+	fcfg, _, err := withFault(cfg, faultProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheable(&fcfg) {
+		t.Error("interceptor config reported cacheable")
+	}
+	for i := 0; i < 2; i++ {
+		f, _, err := submitFault(e, cfg, "exchange2", faultProbe(), 30_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Runs(); got != 2 {
+		t.Errorf("2 fault submissions performed %d simulations, want 2 (uncached)", got)
+	}
+}
+
+// TestFingerprintCoversConfig pins the fingerprint to core.Config's
+// shape: adding a field without teaching writeConfig about it would
+// silently alias distinct configurations in the cache.
+func TestFingerprintCoversConfig(t *testing.T) {
+	if n := reflect.TypeOf(core.Config{}).NumField(); n != fingerprintedConfigFields {
+		t.Errorf("core.Config has %d fields but writeConfig fingerprints %d; "+
+			"update writeConfig and the constant together", n, fingerprintedConfigFields)
+	}
+}
+
+// TestFingerprintSeparatesConfigs spot-checks that distinct
+// configurations and workload windows get distinct cache keys.
+func TestFingerprintSeparatesConfigs(t *testing.T) {
+	a := core.DefaultConfig(a510Spec(4, 2.0))
+	b := core.DefaultConfig(a510Spec(4, 2.0))
+	if fingerprint(&a) != fingerprint(&b) {
+		t.Error("identical configs fingerprint differently")
+	}
+	b.HashMode = true
+	if fingerprint(&a) == fingerprint(&b) {
+		t.Error("HashMode toggle did not change the fingerprint")
+	}
+	c := core.DefaultConfig(a510Spec(2, 2.0))
+	if fingerprint(&a) == fingerprint(&c) {
+		t.Error("checker-count change did not change the fingerprint")
+	}
+	if specKey("mcf", 1000, 500) == specKey("mcf", 1000, 501) {
+		t.Error("warmup change did not change the spec run key")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func seriesFixture() *SeriesResult {
+	return &SeriesResult{
+		Title:      "fixture",
+		Metric:     "slowdown %",
+		Benchmarks: []string{"a", "b", "c"},
+		Order:      []string{"cfg1", "cfg2"},
+		Values: map[string]map[string]float64{
+			"cfg1": {"a": 10, "b": 20, "c": 30},
+			"cfg2": {"a": 5, "c": 15}, // "b" missing
+		},
+	}
+}
+
+func TestSeriesGeomean(t *testing.T) {
+	r := seriesFixture()
+	// cfg1: geomean(1.1, 1.2, 1.3) - 1.
+	if got, want := r.Geomean("cfg1"), 19.72; got < want-0.1 || got > want+0.1 {
+		t.Errorf("cfg1 geomean %.2f, want ~%.2f", got, want)
+	}
+	// Missing benchmarks are skipped, not treated as zero.
+	if got, want := r.Geomean("cfg2"), 9.88; got < want-0.1 || got > want+0.1 {
+		t.Errorf("cfg2 geomean %.2f, want ~%.2f (b skipped)", got, want)
+	}
+	// Unknown config: no values at all.
+	if got := r.Geomean("nope"); got != 0 {
+		t.Errorf("unknown config geomean %.2f, want 0", got)
+	}
+}
+
+func TestSeriesRange(t *testing.T) {
+	r := seriesFixture()
+	if lo, hi := r.Range("cfg1"); lo != 10 || hi != 30 {
+		t.Errorf("cfg1 range [%.0f, %.0f], want [10, 30]", lo, hi)
+	}
+	if lo, hi := r.Range("cfg2"); lo != 5 || hi != 15 {
+		t.Errorf("cfg2 range [%.0f, %.0f], want [5, 15]", lo, hi)
+	}
+}
+
+func TestSeriesTableMissingValues(t *testing.T) {
+	r := seriesFixture()
+	table := r.Table()
+	if !strings.Contains(table, "GEOMEAN") {
+		t.Error("table missing GEOMEAN row")
+	}
+	// The missing cfg2/b cell renders as "-".
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "b ") {
+			if !strings.Contains(line, "-") {
+				t.Errorf("missing value not rendered as '-': %q", line)
+			}
+		}
+	}
+}
+
+func TestSeriesTableEmptyConfigs(t *testing.T) {
+	r := &SeriesResult{
+		Title:      "empty",
+		Metric:     "slowdown %",
+		Benchmarks: []string{"a"},
+		Values:     map[string]map[string]float64{},
+	}
+	table := r.Table() // must not panic with no configs
+	if !strings.Contains(table, "empty") || !strings.Contains(table, "GEOMEAN") {
+		t.Errorf("empty-config table malformed:\n%s", table)
+	}
+	if got := r.Geomean("any"); got != 0 {
+		t.Errorf("empty geomean %.2f, want 0", got)
+	}
+}
