@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +46,9 @@ func run(args []string) int {
 	campaignTrials := fs.Int("campaign-trials", 0, "override campaign trial count (default: 4x fault-trials)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrent campaign trials (0 = GOMAXPROCS)")
 	workers := fs.Int("j", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
 		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign all\n")
@@ -55,6 +60,36 @@ func run(args []string) int {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paraverser: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paraverser: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paraverser: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paraverser: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	sc := experiments.Full()
@@ -74,6 +109,7 @@ func run(args []string) int {
 		sc.FaultTrials = *trials
 	}
 	experiments.SetWorkers(*workers)
+	experiments.SetCheckWorkers(*checkWorkers)
 
 	names := fs.Args()
 	concurrent := false

@@ -76,6 +76,17 @@ type Checker struct {
 	// cores is given to idle cores, and lower-performance cores if
 	// available").
 	sizeRank float64
+
+	// Pipelined-verification state (pipeline.go). pending is the
+	// in-flight asynchronous check that owns this checker; while it is
+	// non-nil, FreeAtNS and the Busy/Insts/Segments statistics are stale
+	// and must not be read before a join. floorNS lower-bounds the
+	// pending check's final FreeAtNS, letting allocator queries skip a
+	// certainly-busy checker without joining it. bb routes the checker
+	// core's beyond-L2 accesses into the pending check's buffer.
+	pending *pendingCheck
+	floorNS float64
+	bb      *checkerBuffer
 }
 
 // QuarantinePolicy governs how implicated checkers leave and re-enter
@@ -96,7 +107,15 @@ type Allocator struct {
 	checkers []*Checker
 	// rotate is the rotating-partner cursor for re-replay selection.
 	rotate int
+	// join, when non-nil, forces a checker's pending asynchronous check
+	// to completion and merges its buffered effects (pipeline.go). Pool
+	// queries call it lazily, which makes AcquireFree and EarliestFree
+	// the protocol-defined join points of the pipelined engine.
+	join func(*Checker)
 }
+
+// SetJoin installs the pipelined engine's join hook.
+func (a *Allocator) SetJoin(fn func(*Checker)) { a.join = fn }
 
 // NewAllocator builds a pool.
 func NewAllocator(checkers []*Checker) (*Allocator, error) {
@@ -132,7 +151,21 @@ func (a *Allocator) AcquireFree(nowNS float64) *Checker {
 	a.refresh(nowNS)
 	var best *Checker
 	for _, c := range a.checkers {
-		if c.State != CheckerActive || c.FreeAtNS > nowNS {
+		if c.State != CheckerActive {
+			continue
+		}
+		if c.pending != nil {
+			// An asynchronous check still owns this checker. floorNS
+			// lower-bounds its final FreeAtNS: past nowNS the checker is
+			// certainly busy and the selection below would skip it
+			// anyway, so the overlap may continue; otherwise it might
+			// already be free, and the answer requires joining first.
+			if c.floorNS > nowNS {
+				continue
+			}
+			a.join(c)
+		}
+		if c.FreeAtNS > nowNS {
 			continue
 		}
 		if best == nil || c.sizeRank < best.sizeRank ||
@@ -152,6 +185,11 @@ func (a *Allocator) EarliestFree() *Checker {
 	for _, c := range a.checkers {
 		if c.State != CheckerActive {
 			continue
+		}
+		if c.pending != nil {
+			// The earliest completion time is unbounded until the
+			// pending check finishes: join unconditionally.
+			a.join(c)
 		}
 		if best == nil || c.FreeAtNS < best.FreeAtNS {
 			best = c

@@ -148,6 +148,19 @@ type Config struct {
 	// sampling.
 	SamplePeriod int
 
+	// CheckWorkers bounds how many segment verifications may run
+	// concurrently with the main-lane simulation inside one Run — the
+	// simulator-side analogue of the paper's own producer/consumer
+	// overlap between main and checker cores. Zero or one runs every
+	// check inline at its dispatch point. Results are byte-identical at
+	// every setting: the pipelined engine snapshots all shared inputs at
+	// dispatch and buffers all shared-state effects until a
+	// protocol-defined join (pipeline.go), so CheckWorkers only changes
+	// wall-clock time, never simulated outcomes. Runs with
+	// Recovery.Enabled or a CheckerInterceptor always dispatch
+	// synchronously through the legacy path.
+	CheckWorkers int
+
 	NoC    noc.Config
 	Layout *noc.Layout
 	// LSLTrafficOnNoC, when false, omits log pushes from the mesh load

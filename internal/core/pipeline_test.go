@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+)
+
+// renderResult flattens every externally observable statistic of a run
+// into one string, so equality means the experiment tables built from
+// the Result are byte-identical.
+func renderResult(res *Result) string {
+	return fmt.Sprintf("lanes=%v\ncheckers=%v\nlink=%v llc=%v",
+		res.Lanes, res.CheckersByLane, res.MaxLinkUtilisation, res.AvgLLCExtraNS)
+}
+
+// TestPipelinedWorkerCountInvariance is the determinism contract of the
+// pipelined verification engine: the same configuration must produce a
+// byte-identical Result whether checks run inline (CheckWorkers 1) or
+// overlapped on 2 or 8 workers, across operating modes, wake policies
+// and hash mode, with warmup snapshots and multiple lanes in play.
+func TestPipelinedWorkerCountInvariance(t *testing.T) {
+	prog := mixedProgram(12000)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"full-coverage-eager", func(c *Config) {}},
+		{"full-coverage-late-wake", func(c *Config) { c.EagerWake = false }},
+		{"hash-mode", func(c *Config) { c.HashMode = true }},
+		{"opportunistic-sampled", func(c *Config) {
+			c.Mode = ModeOpportunistic
+			c.SamplePeriod = 3
+			c.Checkers = []CheckerSpec{{CPU: cpu.A35(), FreqGHz: 0.5, Count: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var base string
+			for _, workers := range []int{1, 2, 8} {
+				cfg := DefaultConfig(a510Checkers(2, 2.0))
+				tc.mut(&cfg)
+				cfg.CheckWorkers = workers
+				ws := []Workload{
+					{Name: "m0", Prog: prog, MaxInsts: 8000, WarmupInsts: 2000},
+					{Name: "m1", Prog: prog},
+				}
+				res, err := Run(cfg, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := renderResult(res)
+				if workers == 1 {
+					base = got
+					continue
+				}
+				if got != base {
+					t.Errorf("CheckWorkers=%d diverged from CheckWorkers=1:\n--- 1 ---\n%s\n--- %d ---\n%s",
+						workers, base, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunBitDeterminism pins bit-exact run-to-run reproducibility of
+// the float statistics (MaxLinkUtilisation, AvgLLCExtraNS): flow-map
+// iteration order must never leak into per-link load accumulation.
+func TestRunBitDeterminism(t *testing.T) {
+	prog := mixedProgram(12000)
+	var base string
+	for i := 0; i < 4; i++ {
+		cfg := DefaultConfig(a510Checkers(2, 2.0))
+		cfg.EagerWake = false
+		ws := []Workload{
+			{Name: "m0", Prog: prog, MaxInsts: 8000, WarmupInsts: 2000},
+			{Name: "m1", Prog: prog},
+		}
+		res, err := Run(cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%v %v", res.MaxLinkUtilisation, res.AvgLLCExtraNS)
+		if i == 0 {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Errorf("run %d diverged: %s vs %s", i, got, base)
+		}
+	}
+}
+
+// TestPipelinedCleanAndCovered re-asserts the core invariants of a
+// full-coverage run under overlapped checking: no spurious detections,
+// full coverage, and per-checker instruction accounting that still sums
+// to the lane's checked instructions after all the deferred joins.
+func TestPipelinedCleanAndCovered(t *testing.T) {
+	cfg := DefaultConfig(a510Checkers(4, 2.0))
+	cfg.CheckWorkers = 4
+	res, err := Run(cfg, []Workload{{Name: "mixed", Prog: mixedProgram(20000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := res.Lanes[0]
+	if lane.Detections != 0 {
+		t.Fatalf("clean pipelined run raised %d detections: %v", lane.Detections, lane.SampleMismatches)
+	}
+	if got := lane.Coverage(); got != 1.0 {
+		t.Errorf("full-coverage pipelined run covered %.3f, want 1.0", got)
+	}
+	var ckInsts uint64
+	for _, ck := range res.CheckersByLane[0] {
+		ckInsts += ck.Insts
+	}
+	if ckInsts != lane.CheckedInsts {
+		t.Errorf("checkers verified %d insts, main checked %d", ckInsts, lane.CheckedInsts)
+	}
+}
+
+// BenchmarkCheckSegment measures one checker-side segment replay (the
+// unit of work the pipelined engine overlaps with the main lane): a
+// 2000-instruction mixed segment verified end to end.
+func BenchmarkCheckSegment(b *testing.B) {
+	prog := mixedProgram(1 << 30)
+	mach, err := emu.NewMachine(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hart := mach.Harts[0]
+	seg := &Segment{Hart: 0, Start: hart.State}
+	var eff emu.Effect
+	for seg.Insts < 2000 {
+		if err := mach.StepHart(0, &eff); err != nil {
+			b.Fatal(err)
+		}
+		seg.Insts++
+		if e, ok := EntryFromEffect(&eff); ok {
+			seg.Entries = append(seg.Entries, e)
+		}
+	}
+	seg.End = hart.State
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := CheckSegment(prog, seg, false, nil, nil)
+		if res.Detected() {
+			b.Fatalf("benchmark segment failed verification: %+v", res.Mismatches)
+		}
+	}
+	b.ReportMetric(float64(seg.Insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

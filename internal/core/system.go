@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"paraverser/internal/cachesim"
 	"paraverser/internal/cpu"
@@ -32,6 +33,14 @@ type System struct {
 	// pipeline (nil when recovery is disabled).
 	tracker *maintenance.Tracker
 
+	// pipelined selects the buffered-merge dispatch protocol
+	// (pipeline.go): checks may run overlapped with the main lane and
+	// their shared-state effects merge at protocol-defined join points.
+	// checkSem, when non-nil, bounds concurrent check jobs at
+	// cfg.CheckWorkers; nil runs jobs inline (but still defers merges).
+	pipelined bool
+	checkSem  chan struct{}
+
 	llcExtraSum float64
 	llcExtraN   uint64
 }
@@ -59,15 +68,20 @@ type lane struct {
 	// segments: ops is the arena backing every entry's Ops records
 	// (EntryFromEffectArena), truncated together with entries at each
 	// checkpoint, so steady-state logging allocates nothing.
-	segStart   emu.ArchState
-	segSeq     int
-	entries    []Entry
-	ops        []MemRec
-	segInsts   uint64
-	segBytes   int
-	segLines   int
-	segChecked bool
-	sinceIRQ   uint64
+	segStart emu.ArchState
+	segSeq   int
+	entries  []Entry
+	ops      []MemRec
+	// spareEntries/spareOps recycle log arenas through pending checks
+	// under the pipelined engine: dispatch hands the live arena to the
+	// check and takes a spare, the join returns it (pipeline.go).
+	spareEntries [][]Entry
+	spareOps     [][]MemRec
+	segInsts     uint64
+	segBytes     int
+	segLines     int
+	segChecked   bool
+	sinceIRQ     uint64
 
 	executed int64
 	res      LaneResult
@@ -128,8 +142,28 @@ func (f *flowTracker) refresh(mesh *noc.Mesh, elapsedNS float64) {
 		return // too early for a meaningful rate
 	}
 	mesh.ResetLoad()
-	for k, b := range f.bytes {
-		mesh.AddFlow(k[0], k[1], b/elapsedNS)
+	// Iterate routes in a fixed order: per-link load accumulation is
+	// floating-point addition, so map-order iteration would perturb the
+	// low bits run to run and break bit-exact reproducibility.
+	keys := make([][2]noc.Coord, 0, len(f.bytes))
+	for k := range f.bytes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			if a[0].Row != b[0].Row {
+				return a[0].Row < b[0].Row
+			}
+			return a[0].Col < b[0].Col
+		}
+		if a[1].Row != b[1].Row {
+			return a[1].Row < b[1].Row
+		}
+		return a[1].Col < b[1].Col
+	})
+	for _, k := range keys {
+		mesh.AddFlow(k[0], k[1], f.bytes[k]/elapsedNS)
 	}
 }
 
@@ -152,6 +186,13 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 	}
 	if cfg.Recovery.Enabled {
 		s.tracker = maintenance.NewTracker()
+	}
+	// Recovery consumes check verdicts immediately (re-replay,
+	// quarantine) and interceptors carry per-run mutable state; both
+	// keep the legacy synchronous dispatch.
+	s.pipelined = len(cfg.Checkers) > 0 && !cfg.Recovery.Enabled && cfg.CheckerInterceptor == nil
+	if s.pipelined && cfg.CheckWorkers > 1 {
+		s.checkSem = make(chan struct{}, cfg.CheckWorkers)
 	}
 
 	laneIdx := 0
@@ -216,16 +257,29 @@ func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
 					return nil, err
 				}
 				pos := s.layout.Checker(idx%len(s.layout.MainPos), id)
-				ckCore.Hier.Beyond = s.beyondFor(pos)
-				checkers = append(checkers, &Checker{
+				ck := &Checker{
 					ID: id, Core: ckCore, FreqGHz: spec.FreqGHz, Pos: pos,
-				})
+				}
+				if s.pipelined {
+					// Checks may run off the orchestrator goroutine:
+					// beyond-L2 accesses go through the pending check's
+					// buffer instead of the shared LLC/DRAM/mesh.
+					ckCore.Hier.Beyond = ck.beyondBuffered
+				} else {
+					ckCore.Hier.Beyond = s.beyondFor(pos)
+				}
+				checkers = append(checkers, ck)
 				id++
 			}
 		}
 		l.alloc, err = NewAllocator(checkers)
 		if err != nil {
 			return nil, err
+		}
+		if s.pipelined {
+			// Pool queries become the lazy join points of the
+			// pipelined engine.
+			l.alloc.SetJoin(func(c *Checker) { s.joinCheck(c) })
 		}
 	}
 	return l, nil
@@ -264,6 +318,11 @@ func (s *System) Run() (*Result, error) {
 			break
 		}
 		if err := s.runSegment(l); err != nil {
+			// Drain in-flight checks so no worker goroutine outlives
+			// the failed run.
+			for _, l := range s.lanes {
+				s.forceAll(l)
+			}
 			return nil, err
 		}
 	}
@@ -466,6 +525,9 @@ func (s *System) maybeSnapshotWarm(l *lane) {
 	if l.warmed || l.proc.w.WarmupInsts == 0 || l.executed < l.proc.w.WarmupInsts {
 		return
 	}
+	// Checker statistics for segments dispatched during warmup belong to
+	// the warmup window: join any pending checks before snapshotting.
+	s.forceAll(l)
 	l.warmed = true
 	w := warmSnapshot{
 		timeNS:       l.main.TimeNS(),
@@ -515,8 +577,15 @@ func (l *lane) beginSegment(hart *emu.Hart, capacityLines int, timeoutInsts uint
 
 // dispatch schedules seg on checker ck: models the NoC transfer, runs the
 // checker's functional verification feeding its timing model, and records
-// the outcome.
+// the outcome. Under the pipelined engine the verification is handed to
+// dispatchPipelined, which may overlap it with further main-lane
+// progress; recovery and fault-injection runs keep this synchronous
+// path.
 func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
+	if s.pipelined {
+		s.dispatchPipelined(l, ck, seg)
+		return
+	}
 	// NoC traffic: the log lines plus start/end register checkpoints.
 	xferBytes := float64(seg.LogBytes) + 2*float64(l.rcu.CheckpointTransferBytes())
 	if s.cfg.LSLTrafficOnNoC {
@@ -624,6 +693,11 @@ func (s *System) finishLane(l *lane) {
 }
 
 func (s *System) collect() *Result {
+	// Join every outstanding check before reading any statistic it may
+	// still be buffering (checker stats, LLC contention samples).
+	for _, l := range s.lanes {
+		s.forceAll(l)
+	}
 	r := &Result{MaxLinkUtilisation: s.mesh.MaxUtilisation(), Maintenance: s.tracker}
 	if s.llcExtraN > 0 {
 		r.AvgLLCExtraNS = s.llcExtraSum / float64(s.llcExtraN)

@@ -211,19 +211,3 @@ func A35() Config {
 	cfg.AreaMM2 = 0.84 / 16
 	return cfg
 }
-
-// fuClassFor maps an instruction class to the FU pool that executes it.
-func fuClassFor(class isa.Class) isa.Class {
-	switch class {
-	case isa.ClassJump:
-		return isa.ClassBranch
-	case isa.ClassNonRepeat:
-		return isa.ClassIntALU
-	case isa.ClassAtomic:
-		return isa.ClassLoad
-	case isa.ClassNop:
-		return isa.ClassIntALU
-	default:
-		return class
-	}
-}

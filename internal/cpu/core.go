@@ -36,18 +36,22 @@ type Core struct {
 	BP   *branch.Unit
 
 	// All times below are in core cycles.
-	nextFetch   float64
-	fetchSlots  int
-	redirected  bool
-	lastLine    uint64
-	haveLine    bool
-	regInt      [isa.NumIntRegs]float64
-	regFP       [isa.NumFPRegs]float64
-	rob         ring
-	lq          ring
-	sq          ring
-	mshr        ring
-	fuFree      map[isa.Class][]float64
+	nextFetch  float64
+	fetchSlots int
+	redirected bool
+	lastLine   uint64
+	haveLine   bool
+	regInt     [isa.NumIntRegs]float64
+	regFP      [isa.NumFPRegs]float64
+	rob        ring
+	lq         ring
+	sq         ring
+	mshr       ring
+	// fuFree and fuCfg are dense per-FU-class tables indexed directly by
+	// isa.Class (the map form cost two hash lookups per instruction on
+	// the hottest path in the simulator).
+	fuFree      [isa.NumClasses][]float64
+	fuCfg       [isa.NumClasses]FU
 	lastIssue   float64
 	issueSlots  int
 	lastCommit  float64
@@ -111,7 +115,6 @@ func NewCore(cfg Config, freqGHz float64, mode Mode) (*Core, error) {
 			L1D: cachesim.MustNew(cfg.L1D),
 			L2:  cachesim.MustNew(cfg.L2),
 		},
-		fuFree: make(map[isa.Class][]float64, len(cfg.FUs)),
 	}
 	if cfg.BigPredictor {
 		c.BP = branch.NewUnit(branch.NewDefaultTAGE(), 13)
@@ -120,6 +123,7 @@ func NewCore(cfg Config, freqGHz float64, mode Mode) (*Core, error) {
 	}
 	for class, fu := range cfg.FUs {
 		c.fuFree[class] = make([]float64, fu.Count)
+		c.fuCfg[class] = fu
 	}
 	rob := cfg.ROB
 	if !cfg.OoO {
@@ -216,72 +220,26 @@ func (c *Core) AdvanceTo(cycle float64) {
 }
 
 // srcReady returns the cycle when all source operands of the instruction
-// are available.
-func (c *Core) srcReady(in isa.Inst, class isa.Class) float64 {
+// are available, walking the predecoded operand descriptor.
+func (c *Core) srcReady(d *isa.DecInst) float64 {
 	var t float64
-	rInt := func(r isa.Reg) {
-		if v := c.regInt[r]; v > t {
+	for i := uint8(0); i < d.NIntSrc; i++ {
+		if v := c.regInt[d.IntSrc[i]]; v > t {
 			t = v
 		}
 	}
-	rFP := func(r isa.Reg) {
-		if v := c.regFP[r]; v > t {
+	for i := uint8(0); i < d.NFPSrc; i++ {
+		if v := c.regFP[d.FPSrc[i]]; v > t {
 			t = v
-		}
-	}
-	switch class {
-	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
-		switch in.Op {
-		case isa.OpFCVTIF, isa.OpFMVIF:
-			rInt(in.Rs1)
-		default:
-			rFP(in.Rs1)
-			rFP(in.Rs2)
-		}
-	case isa.ClassLoad:
-		rInt(in.Rs1)
-		if in.Op == isa.OpGLD {
-			rInt(in.Rs2)
-		}
-	case isa.ClassStore:
-		rInt(in.Rs1)
-		if in.Op == isa.OpFST {
-			rFP(in.Rs2)
-		} else {
-			rInt(in.Rs2)
-		}
-		if in.Op == isa.OpSST {
-			rInt(in.Rd)
-		}
-	case isa.ClassAtomic:
-		rInt(in.Rs1)
-		rInt(in.Rs2)
-	case isa.ClassBranch:
-		rInt(in.Rs1)
-		rInt(in.Rs2)
-	case isa.ClassJump:
-		if in.Op == isa.OpJALR {
-			rInt(in.Rs1)
-		}
-	case isa.ClassNop, isa.ClassNonRepeat:
-	default: // integer ALU/mul/div
-		rInt(in.Rs1)
-		switch in.Op {
-		case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
-			isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpLUI:
-		default:
-			rInt(in.Rs2)
 		}
 	}
 	return t
 }
 
-// allocFU reserves a functional unit for the instruction, returning its
-// start time given the earliest possible issue time.
-func (c *Core) allocFU(class isa.Class, earliest float64) (start float64, latency int) {
-	fuClass := fuClassFor(class)
+// allocFU reserves a functional unit from the (predecoded) FU class's
+// pool, returning its start time given the earliest possible issue time.
+func (c *Core) allocFU(fuClass isa.Class, earliest float64) (start float64, latency int) {
 	pool := c.fuFree[fuClass]
-	fu := c.cfg.FUs[fuClass]
 	best := 0
 	for i := 1; i < len(pool); i++ {
 		if pool[i] < pool[best] {
@@ -292,8 +250,8 @@ func (c *Core) allocFU(class isa.Class, earliest float64) (start float64, latenc
 	if pool[best] > start {
 		start = pool[best]
 	}
-	pool[best] = start + float64(fu.InitInterval)
-	return start, fu.Latency
+	pool[best] = start + float64(c.fuCfg[fuClass].InitInterval)
+	return start, c.fuCfg[fuClass].Latency
 }
 
 // pauseCycles is the front-end idle a spin-wait hint costs: spin loops
@@ -302,6 +260,13 @@ const pauseCycles = 48
 
 // Consume advances the timing model over one executed instruction.
 func (c *Core) Consume(eff *emu.Effect) {
+	d := eff.Dec
+	if d == nil {
+		// Hand-built effects (tests, tools) carry no predecode record;
+		// derive one on the stack.
+		tmp := isa.Predecode(eff.Inst)
+		d = &tmp
+	}
 	in := eff.Inst
 	class := eff.Class
 	if in.Op == isa.OpPAUSE {
@@ -336,7 +301,7 @@ func (c *Core) Consume(eff *emu.Effect) {
 
 	// --- issue ---
 	issue := dispatch
-	if s := c.srcReady(in, class); s > issue {
+	if s := c.srcReady(d); s > issue {
 		issue = s
 	}
 	if !c.cfg.OoO {
@@ -355,7 +320,7 @@ func (c *Core) Consume(eff *emu.Effect) {
 		}
 		c.lastIssue = issue
 	}
-	start, latency := c.allocFU(class, issue)
+	start, latency := c.allocFU(d.FUClass, issue)
 	done := start + float64(latency)
 
 	// --- memory ---
@@ -374,17 +339,15 @@ func (c *Core) Consume(eff *emu.Effect) {
 	}
 
 	// --- branch resolution ---
-	if isa.IsBranch(in.Op) {
+	if d.Flags&isa.DecBranch != 0 {
 		resolveAt := done
-		if c.mode == ModeMain || c.mode == ModeChecker {
-			if correct := c.BP.Resolve(in.Op, eff.PC, eff.Taken, eff.NextPC); !correct {
-				redirect := resolveAt + float64(c.cfg.FrontendDepth)
-				if redirect > c.nextFetch {
-					c.nextFetch = redirect
-					c.fetchSlots = 0
-				}
-				c.redirected = true
+		if correct := c.BP.Resolve(in.Op, eff.PC, eff.Taken, eff.NextPC); !correct {
+			redirect := resolveAt + float64(c.cfg.FrontendDepth)
+			if redirect > c.nextFetch {
+				c.nextFetch = redirect
+				c.fetchSlots = 0
 			}
+			c.redirected = true
 		}
 	} else if eff.Taken {
 		// Taken non-branch cannot happen, but keep line tracking honest.

@@ -1,0 +1,86 @@
+package emu
+
+import (
+	"testing"
+
+	"paraverser/internal/asm"
+	"paraverser/internal/isa"
+)
+
+// benchLoopMachine builds a machine running an endless mixed loop
+// (pointer-chased loads/stores, ALU, FP, a data-dependent branch) and
+// warms it up so every page the loop touches is already mapped.
+func benchLoopMachine(tb testing.TB) *Machine {
+	const bufWords = 4096
+	b := asm.New("bench-loop")
+	buf := b.Reserve(bufWords * 8)
+	const (
+		rBase = isa.Reg(5)
+		rIdx  = isa.Reg(6)
+		rAddr = isa.Reg(7)
+		rVal  = isa.Reg(8)
+		rTmp  = isa.Reg(9)
+		rAcc  = isa.Reg(10)
+		rIter = isa.Reg(20)
+		rZero = isa.Reg(21)
+	)
+	b.Li(rBase, int64(b.DataAddr(buf)))
+	b.Li(rIter, 0)
+	b.Li(rZero, 0)
+	b.Label("loop")
+	b.Andi(rIdx, rIter, bufWords-1)
+	b.Slli(rIdx, rIdx, 3)
+	b.Add(rAddr, rBase, rIdx)
+	b.Ld(8, rVal, rAddr, 0)
+	b.Addi(rVal, rVal, 3)
+	b.St(8, rVal, rAddr, 0)
+	b.Fcvtif(1, rVal)
+	b.Fmul(2, 1, 1)
+	b.Andi(rTmp, rVal, 7)
+	b.Beq(rTmp, rZero, "skip")
+	b.Xor(rAcc, rAcc, rVal)
+	b.Label("skip")
+	b.Addi(rIter, rIter, 1)
+	b.Jmp("loop")
+	prog := b.MustBuild()
+	m, err := NewMachine(prog, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var eff Effect
+	for i := 0; i < bufWords*16; i++ { // touch every buffer page once
+		if err := m.StepHart(0, &eff); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestHartStepZeroAlloc pins the predecoded hot path: in steady state,
+// emulating one instruction (including effect materialisation and
+// memory access) performs zero heap allocations.
+func TestHartStepZeroAlloc(t *testing.T) {
+	m := benchLoopMachine(t)
+	var eff Effect
+	allocs := testing.AllocsPerRun(10000, func() {
+		if err := m.StepHart(0, &eff); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Hart.Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHartStep measures the emulate path alone.
+func BenchmarkHartStep(b *testing.B) {
+	m := benchLoopMachine(b)
+	var eff Effect
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.StepHart(0, &eff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -40,6 +40,11 @@ type Effect struct {
 	NextPC uint64
 	Taken  bool // branch/jump redirected control flow
 
+	// Dec points at the predecoded record for Inst when the effect was
+	// produced by a decoded-program step; timing models use it to skip
+	// re-deriving per-op metadata. May be nil for hand-built effects.
+	Dec *isa.DecInst
+
 	Mem  [MaxMemOps]MemOp
 	NMem int
 

@@ -63,167 +63,175 @@ func NewHart(id int, entry uint64) *Hart {
 
 // Step executes one instruction from prog against env, filling eff with
 // the complete architectural record. intc, if non-nil, may corrupt
-// results and addresses (fault injection).
+// results and addresses (fault injection). Equivalent to StepDecoded over
+// the program's cached predecode table.
 func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) error {
+	return h.StepDecoded(prog.Decoded(), env, intc, eff)
+}
+
+// StepDecoded executes one instruction from a predecoded program. This is
+// the hot path: no closures, no per-step decode switches beyond the
+// opcode dispatch itself, and no heap allocation on the fault-free path.
+func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Effect) error {
 	if h.Halted {
 		return fmt.Errorf("emu: hart %d: step after halt", h.ID)
 	}
 	pc := h.State.PC
-	if pc >= uint64(len(prog.Insts)) {
+	if pc >= uint64(len(dec)) {
 		return fmt.Errorf("emu: hart %d: pc %d out of range", h.ID, pc)
 	}
-	in := prog.Insts[pc]
+	d := &dec[pc]
+	in := d.Inst
 
-	*eff = Effect{PC: pc, Inst: in, Class: isa.ClassOf(in.Op), NextPC: pc + 1}
+	*eff = Effect{PC: pc, Inst: in, Class: d.Class, NextPC: pc + 1, Dec: d}
 
 	x := &h.State.X
 	f := &h.State.F
 	rs1, rs2 := x[in.Rs1], x[in.Rs2]
 
-	writeInt := func(v uint64) {
-		if intc != nil {
-			v = intc.Result(in, eff.Class, false, v)
-		}
-		eff.WroteInt, eff.Value = true, v
-		if in.Rd != isa.Zero {
-			x[in.Rd] = v
-		}
-	}
-	writeFP := func(v float64) {
-		bits := math.Float64bits(v)
-		if intc != nil {
-			bits = intc.Result(in, eff.Class, true, bits)
-		}
-		eff.WroteFP, eff.Value = true, bits
-		f[in.Rd] = math.Float64frombits(bits)
-	}
-	effAddr := func(base uint64, imm int64) uint64 {
-		a := base + uint64(imm)
-		if intc != nil {
-			a = intc.Address(in, a)
-		}
-		return a
-	}
+	// Destination writes are staged here and applied after the opcode
+	// dispatch, replacing the old per-step writeInt/writeFP closures.
+	var (
+		vInt  uint64
+		vFP   float64
+		wrInt bool
+		wrFP  bool
+	)
 
 	switch in.Op {
 	case isa.OpADD:
-		writeInt(rs1 + rs2)
+		vInt, wrInt = rs1+rs2, true
 	case isa.OpSUB:
-		writeInt(rs1 - rs2)
+		vInt, wrInt = rs1-rs2, true
 	case isa.OpMUL:
-		writeInt(rs1 * rs2)
+		vInt, wrInt = rs1*rs2, true
 	case isa.OpDIV:
 		if rs2 == 0 {
-			writeInt(^uint64(0))
+			vInt, wrInt = ^uint64(0), true
 		} else {
-			writeInt(uint64(int64(rs1) / int64(rs2)))
+			vInt, wrInt = uint64(int64(rs1)/int64(rs2)), true
 		}
 	case isa.OpREM:
 		if rs2 == 0 {
-			writeInt(rs1)
+			vInt, wrInt = rs1, true
 		} else {
-			writeInt(uint64(int64(rs1) % int64(rs2)))
+			vInt, wrInt = uint64(int64(rs1)%int64(rs2)), true
 		}
 	case isa.OpAND:
-		writeInt(rs1 & rs2)
+		vInt, wrInt = rs1&rs2, true
 	case isa.OpOR:
-		writeInt(rs1 | rs2)
+		vInt, wrInt = rs1|rs2, true
 	case isa.OpXOR:
-		writeInt(rs1 ^ rs2)
+		vInt, wrInt = rs1^rs2, true
 	case isa.OpSLL:
-		writeInt(rs1 << (rs2 & 63))
+		vInt, wrInt = rs1<<(rs2&63), true
 	case isa.OpSRL:
-		writeInt(rs1 >> (rs2 & 63))
+		vInt, wrInt = rs1>>(rs2&63), true
 	case isa.OpSRA:
-		writeInt(uint64(int64(rs1) >> (rs2 & 63)))
+		vInt, wrInt = uint64(int64(rs1)>>(rs2&63)), true
 	case isa.OpSLT:
-		writeInt(boolToU64(int64(rs1) < int64(rs2)))
+		vInt, wrInt = boolToU64(int64(rs1) < int64(rs2)), true
 	case isa.OpSLTU:
-		writeInt(boolToU64(rs1 < rs2))
+		vInt, wrInt = boolToU64(rs1 < rs2), true
 
 	case isa.OpADDI:
-		writeInt(rs1 + uint64(in.Imm))
+		vInt, wrInt = rs1+d.ImmU, true
 	case isa.OpANDI:
-		writeInt(rs1 & uint64(in.Imm))
+		vInt, wrInt = rs1&d.ImmU, true
 	case isa.OpORI:
-		writeInt(rs1 | uint64(in.Imm))
+		vInt, wrInt = rs1|d.ImmU, true
 	case isa.OpXORI:
-		writeInt(rs1 ^ uint64(in.Imm))
+		vInt, wrInt = rs1^d.ImmU, true
 	case isa.OpSLLI:
-		writeInt(rs1 << (uint64(in.Imm) & 63))
+		vInt, wrInt = rs1<<(d.ImmU&63), true
 	case isa.OpSRLI:
-		writeInt(rs1 >> (uint64(in.Imm) & 63))
+		vInt, wrInt = rs1>>(d.ImmU&63), true
 	case isa.OpSRAI:
-		writeInt(uint64(int64(rs1) >> (uint64(in.Imm) & 63)))
+		vInt, wrInt = uint64(int64(rs1)>>(d.ImmU&63)), true
 	case isa.OpSLTI:
-		writeInt(boolToU64(int64(rs1) < in.Imm))
+		vInt, wrInt = boolToU64(int64(rs1) < in.Imm), true
 	case isa.OpLUI:
-		writeInt(uint64(in.Imm))
+		vInt, wrInt = d.ImmU, true
 
 	case isa.OpFADD:
-		writeFP(f[in.Rs1] + f[in.Rs2])
+		vFP, wrFP = f[in.Rs1]+f[in.Rs2], true
 	case isa.OpFSUB:
-		writeFP(f[in.Rs1] - f[in.Rs2])
+		vFP, wrFP = f[in.Rs1]-f[in.Rs2], true
 	case isa.OpFMUL:
-		writeFP(f[in.Rs1] * f[in.Rs2])
+		vFP, wrFP = f[in.Rs1]*f[in.Rs2], true
 	case isa.OpFDIV:
-		writeFP(f[in.Rs1] / f[in.Rs2])
+		vFP, wrFP = f[in.Rs1]/f[in.Rs2], true
 	case isa.OpFSQRT:
-		writeFP(math.Sqrt(f[in.Rs1]))
+		vFP, wrFP = math.Sqrt(f[in.Rs1]), true
 	case isa.OpFMIN:
-		writeFP(math.Min(f[in.Rs1], f[in.Rs2]))
+		vFP, wrFP = math.Min(f[in.Rs1], f[in.Rs2]), true
 	case isa.OpFMAX:
-		writeFP(math.Max(f[in.Rs1], f[in.Rs2]))
+		vFP, wrFP = math.Max(f[in.Rs1], f[in.Rs2]), true
 	case isa.OpFNEG:
-		writeFP(-f[in.Rs1])
+		vFP, wrFP = -f[in.Rs1], true
 	case isa.OpFABS:
-		writeFP(math.Abs(f[in.Rs1]))
+		vFP, wrFP = math.Abs(f[in.Rs1]), true
 	case isa.OpFCVTIF:
-		writeFP(float64(int64(rs1)))
+		vFP, wrFP = float64(int64(rs1)), true
 	case isa.OpFCVTFI:
-		writeInt(uint64(int64(f[in.Rs1])))
+		vInt, wrInt = uint64(int64(f[in.Rs1])), true
 	case isa.OpFMVIF:
-		writeFP(math.Float64frombits(rs1))
+		vFP, wrFP = math.Float64frombits(rs1), true
 	case isa.OpFMVFI:
-		writeInt(math.Float64bits(f[in.Rs1]))
+		vInt, wrInt = math.Float64bits(f[in.Rs1]), true
 	case isa.OpFEQ:
-		writeInt(boolToU64(f[in.Rs1] == f[in.Rs2]))
+		vInt, wrInt = boolToU64(f[in.Rs1] == f[in.Rs2]), true
 	case isa.OpFLT:
-		writeInt(boolToU64(f[in.Rs1] < f[in.Rs2]))
+		vInt, wrInt = boolToU64(f[in.Rs1] < f[in.Rs2]), true
 
 	case isa.OpLD:
-		addr := effAddr(rs1, in.Imm)
+		addr := rs1 + d.ImmU
+		if intc != nil {
+			addr = intc.Address(in, addr)
+		}
 		v, err := env.Load(addr, in.Size)
 		if err != nil {
 			return h.fault(err)
 		}
 		eff.addMem(MemLoad, addr, in.Size, v)
-		writeInt(v)
+		vInt, wrInt = v, true
 	case isa.OpFLD:
-		addr := effAddr(rs1, in.Imm)
+		addr := rs1 + d.ImmU
+		if intc != nil {
+			addr = intc.Address(in, addr)
+		}
 		v, err := env.Load(addr, 8)
 		if err != nil {
 			return h.fault(err)
 		}
 		eff.addMem(MemLoad, addr, 8, v)
-		writeFP(math.Float64frombits(v))
+		vFP, wrFP = math.Float64frombits(v), true
 	case isa.OpST:
-		addr := effAddr(rs1, in.Imm)
-		val := rs2
-		eff.addMem(MemStore, addr, in.Size, truncate(val, in.Size))
-		if err := env.Store(addr, in.Size, val); err != nil {
+		addr := rs1 + d.ImmU
+		if intc != nil {
+			addr = intc.Address(in, addr)
+		}
+		eff.addMem(MemStore, addr, in.Size, truncate(rs2, in.Size))
+		if err := env.Store(addr, in.Size, rs2); err != nil {
 			return h.fault(err)
 		}
 	case isa.OpFST:
-		addr := effAddr(rs1, in.Imm)
+		addr := rs1 + d.ImmU
+		if intc != nil {
+			addr = intc.Address(in, addr)
+		}
 		val := math.Float64bits(f[in.Rs2])
 		eff.addMem(MemStore, addr, 8, val)
 		if err := env.Store(addr, 8, val); err != nil {
 			return h.fault(err)
 		}
 	case isa.OpGLD:
-		a1 := effAddr(rs1, in.Imm)
-		a2 := effAddr(rs2, 0)
+		a1 := rs1 + d.ImmU
+		a2 := rs2
+		if intc != nil {
+			a1 = intc.Address(in, a1)
+			a2 = intc.Address(in, a2)
+		}
 		v1, err := env.Load(a1, in.Size)
 		if err != nil {
 			return h.fault(err)
@@ -234,10 +242,14 @@ func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) e
 		}
 		eff.addMem(MemLoad, a1, in.Size, v1)
 		eff.addMem(MemLoad, a2, in.Size, v2)
-		writeInt(v1 + v2)
+		vInt, wrInt = v1+v2, true
 	case isa.OpSST:
-		a1 := effAddr(rs1, in.Imm)
-		a2 := effAddr(rs2, 0)
+		a1 := rs1 + d.ImmU
+		a2 := rs2
+		if intc != nil {
+			a1 = intc.Address(in, a1)
+			a2 = intc.Address(in, a2)
+		}
 		val := x[in.Rd]
 		eff.addMem(MemStore, a1, in.Size, truncate(val, in.Size))
 		eff.addMem(MemStore, a2, in.Size, truncate(val, in.Size))
@@ -248,34 +260,37 @@ func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) e
 			return h.fault(err)
 		}
 	case isa.OpSWP:
-		addr := effAddr(rs1, 0)
+		addr := rs1
+		if intc != nil {
+			addr = intc.Address(in, addr)
+		}
 		old, err := env.Swap(addr, rs2)
 		if err != nil {
 			return h.fault(err)
 		}
 		eff.addMem(MemLoad, addr, 8, old)
 		eff.addMem(MemStore, addr, 8, rs2)
-		writeInt(old)
+		vInt, wrInt = old, true
 
 	case isa.OpBEQ:
-		h.condBranch(in, eff, rs1 == rs2)
+		h.condBranch(d, eff, rs1 == rs2)
 	case isa.OpBNE:
-		h.condBranch(in, eff, rs1 != rs2)
+		h.condBranch(d, eff, rs1 != rs2)
 	case isa.OpBLT:
-		h.condBranch(in, eff, int64(rs1) < int64(rs2))
+		h.condBranch(d, eff, int64(rs1) < int64(rs2))
 	case isa.OpBGE:
-		h.condBranch(in, eff, int64(rs1) >= int64(rs2))
+		h.condBranch(d, eff, int64(rs1) >= int64(rs2))
 	case isa.OpBLTU:
-		h.condBranch(in, eff, rs1 < rs2)
+		h.condBranch(d, eff, rs1 < rs2)
 	case isa.OpBGEU:
-		h.condBranch(in, eff, rs1 >= rs2)
+		h.condBranch(d, eff, rs1 >= rs2)
 	case isa.OpJAL:
-		writeInt(pc + 1)
+		vInt, wrInt = pc+1, true
 		eff.Taken = true
-		eff.NextPC = pc + uint64(in.Imm)
+		eff.NextPC = pc + d.ImmU
 	case isa.OpJALR:
-		target := rs1 + uint64(in.Imm)
-		writeInt(pc + 1)
+		target := rs1 + d.ImmU
+		vInt, wrInt = pc+1, true
 		eff.Taken = true
 		eff.NextPC = target
 
@@ -285,14 +300,14 @@ func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) e
 			return h.fault(err)
 		}
 		eff.NonRepeat, eff.NonRepeatVal = true, v
-		writeInt(v)
+		vInt, wrInt = v, true
 	case isa.OpCYCLE:
 		v, err := env.CycleRead(h.Instret)
 		if err != nil {
 			return h.fault(err)
 		}
 		eff.NonRepeat, eff.NonRepeatVal = true, v
-		writeInt(v)
+		vInt, wrInt = v, true
 
 	case isa.OpNOP, isa.OpPAUSE:
 	case isa.OpHALT:
@@ -302,15 +317,32 @@ func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) e
 		return fmt.Errorf("emu: hart %d: pc %d: unimplemented op %s", h.ID, pc, in.Op)
 	}
 
+	if wrInt {
+		if intc != nil {
+			vInt = intc.Result(in, d.Class, false, vInt)
+		}
+		eff.WroteInt, eff.Value = true, vInt
+		if in.Rd != isa.Zero {
+			x[in.Rd] = vInt
+		}
+	} else if wrFP {
+		bits := math.Float64bits(vFP)
+		if intc != nil {
+			bits = intc.Result(in, d.Class, true, bits)
+		}
+		eff.WroteFP, eff.Value = true, bits
+		f[in.Rd] = math.Float64frombits(bits)
+	}
+
 	h.State.PC = eff.NextPC
 	h.Instret++
 	return nil
 }
 
-func (h *Hart) condBranch(in isa.Inst, eff *Effect, taken bool) {
+func (h *Hart) condBranch(d *isa.DecInst, eff *Effect, taken bool) {
 	if taken {
 		eff.Taken = true
-		eff.NextPC = eff.PC + uint64(in.Imm)
+		eff.NextPC = eff.PC + d.ImmU
 	}
 }
 

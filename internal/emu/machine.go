@@ -73,6 +73,7 @@ type Machine struct {
 	Mem   *Memory
 	Harts []*Hart
 	Env   []*MainEnv
+	dec   []isa.DecInst // Prog's predecode table, resolved once
 
 	// Quantum is how many instructions one hart runs before control
 	// rotates. Zero means 1.
@@ -90,7 +91,7 @@ func NewMachine(prog *isa.Program, seed uint64) (*Machine, error) {
 	}
 	mem := NewMemory()
 	mem.WriteBytes(prog.DataBase, prog.Data)
-	m := &Machine{Prog: prog, Mem: mem}
+	m := &Machine{Prog: prog, Mem: mem, dec: prog.Decoded()}
 	for i, entry := range prog.Entries {
 		h := NewHart(i, entry)
 		h.State.X[isa.GP] = prog.DataBase
@@ -112,7 +113,7 @@ func (m *Machine) Running() bool {
 
 // StepHart executes one instruction on hart i, filling eff.
 func (m *Machine) StepHart(i int, eff *Effect) error {
-	return m.Harts[i].Step(m.Prog, m.Env[i], m.Intc, eff)
+	return m.Harts[i].StepDecoded(m.dec, m.Env[i], m.Intc, eff)
 }
 
 // Run interleaves the harts round-robin until every hart halts or limit

@@ -22,6 +22,10 @@ type page [pageSize]byte
 // programs are interleaved deterministically on one goroutine.
 type Memory struct {
 	pages map[uint64]*page
+	// One-entry page cache: accesses are heavily page-local, so most
+	// loads and stores skip the map lookup entirely.
+	lastPN   uint64
+	lastPage *page
 }
 
 // NewMemory returns an empty memory.
@@ -31,10 +35,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	pn := addr >> pageBits
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new(page)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -107,20 +117,38 @@ func (m *Memory) Store(addr uint64, size uint8, val uint64) error {
 	return nil
 }
 
-// WriteBytes copies raw bytes into memory (used to materialise data
-// segments).
+// WriteBytes copies raw bytes into memory page-at-a-time (used to
+// materialise data segments, which run to tens of megabytes for the SPEC
+// working sets).
 func (m *Memory) WriteBytes(addr uint64, data []byte) {
-	for i, b := range data {
-		p := m.pageFor(addr+uint64(i), true)
-		p[(addr+uint64(i))&(pageSize-1)] = b
+	for len(data) > 0 {
+		off := addr & (pageSize - 1)
+		n := uint64(pageSize) - off
+		if uint64(len(data)) < n {
+			n = uint64(len(data))
+		}
+		p := m.pageFor(addr, true)
+		copy(p[off:off+n], data[:n])
+		addr += n
+		data = data[n:]
 	}
 }
 
-// ReadBytes copies n bytes out of memory.
+// ReadBytes copies n bytes out of memory page-at-a-time.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.loadByte(addr + uint64(i))
+	dst := out
+	for len(dst) > 0 {
+		off := addr & (pageSize - 1)
+		span := uint64(pageSize) - off
+		if uint64(len(dst)) < span {
+			span = uint64(len(dst))
+		}
+		if p := m.pageFor(addr, false); p != nil {
+			copy(dst[:span], p[off:off+span])
+		}
+		addr += span
+		dst = dst[span:]
 	}
 	return out
 }

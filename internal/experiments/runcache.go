@@ -33,7 +33,7 @@ func cacheable(cfg *core.Config) bool { return cfg.CheckerInterceptor == nil }
 // fingerprintedConfigFields pins the number of fields this function must
 // cover; TestFingerprintCoversConfig fails when core.Config grows a field
 // that is not accounted for here.
-const fingerprintedConfigFields = 22
+const fingerprintedConfigFields = 23
 
 func fingerprint(cfg *core.Config) string {
 	h := sha256.New()
@@ -65,6 +65,11 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	// 20-22: recovery policy and workload seed. Recovery.Quarantine rides
 	// along inside %+v.
 	fmt.Fprintf(w, "recovery=%+v seed=%v\n", cfg.Recovery, cfg.Seed)
+	// 23: CheckWorkers is deliberately NOT hashed. The pipelined
+	// verification engine guarantees byte-identical results at every
+	// worker count (core/pipeline.go), so runs that differ only in
+	// CheckWorkers describe the same simulation and may share one cache
+	// entry.
 }
 
 // workloadsKey renders the workload list's identity. Programs built from

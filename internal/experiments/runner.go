@@ -94,6 +94,7 @@ func (f *Future) Wait() (*core.Result, error) {
 // submissions always execute privately but still occupy pool slots, so
 // fault-injection matrices parallelise under the same bound.
 func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
+	applyCheckWorkers(&cfg)
 	if !cacheable(&cfg) {
 		c := &runCall{done: make(chan struct{}), ws: ws}
 		e.start(cfg, c)
@@ -117,6 +118,7 @@ func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 // measurement window. The program is resolved inside the pooled task, so
 // first-time working-set generation parallelises with other runs.
 func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) *Future {
+	applyCheckWorkers(&cfg)
 	if cacheable(&cfg) {
 		key := runKey{cfg: fingerprint(&cfg), ws: specKey(bench, insts, warmup)}
 		e.mu.Lock()
@@ -193,4 +195,22 @@ func SetWorkers(n int) {
 	engineMu.Lock()
 	defer engineMu.Unlock()
 	defEngine = NewEngine(n)
+}
+
+// checkWorkers is the intra-run verification concurrency applied to
+// submitted configurations that leave Config.CheckWorkers zero. Results
+// are worker-invariant (core/pipeline.go) and CheckWorkers is excluded
+// from the cache fingerprint, so changing it never splits the cache.
+var checkWorkers atomic.Int64
+
+// SetCheckWorkers sets how many checker-segment verifications each
+// simulation may run concurrently with its main lane (<= 1 runs checks
+// inline). Unlike SetWorkers this only changes wall-clock behaviour;
+// simulated results are byte-identical at any setting.
+func SetCheckWorkers(n int) { checkWorkers.Store(int64(n)) }
+
+func applyCheckWorkers(cfg *core.Config) {
+	if cfg.CheckWorkers == 0 {
+		cfg.CheckWorkers = int(checkWorkers.Load())
+	}
 }

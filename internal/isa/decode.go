@@ -1,0 +1,174 @@
+package isa
+
+// This file is the predecode pass: everything the emulator and the timing
+// models would otherwise re-derive per executed instruction (class
+// switches, FU-pool mapping, operand-readiness rules, immediate
+// conversion) is materialised once per static instruction and cached on
+// the Program. The hot loops then index a flat table instead of running
+// opcode switches millions of times per simulated run.
+
+// DecFlags is a bitset of predecoded instruction properties.
+type DecFlags uint8
+
+// Predecoded flag bits.
+const (
+	// DecMem: the instruction performs at least one memory access.
+	DecMem DecFlags = 1 << iota
+	// DecLogged: the instruction produces a load-store-log entry.
+	DecLogged
+	// DecCondBranch: conditional branch (ClassBranch).
+	DecCondBranch
+	// DecJump: unconditional control flow (ClassJump).
+	DecJump
+	// DecFP: executes on the floating-point pipeline.
+	DecFP
+)
+
+// DecBranch matches any control-flow instruction.
+const DecBranch = DecCondBranch | DecJump
+
+// MaxIntSrcs and MaxFPSrcs bound the operand-readiness descriptor: SST
+// consults three integer registers (Rs1, Rs2 and the stored Rd); FP
+// arithmetic consults at most two FP registers.
+const (
+	MaxIntSrcs = 3
+	MaxFPSrcs  = 2
+)
+
+// DecInst is one predecoded instruction: the raw instruction plus every
+// per-op derivative the emulate+consume path needs. Built once per
+// program by Program.Decoded.
+type DecInst struct {
+	Inst    Inst
+	Class   Class
+	FUClass Class
+	// ImmU is Imm converted to uint64 once (the form address generation
+	// and immediate ALU ops consume).
+	ImmU  uint64
+	Flags DecFlags
+	// IntSrc[:NIntSrc] and FPSrc[:NFPSrc] are the registers whose
+	// readiness gates issue, mirroring the timing model's scoreboard
+	// rules exactly (X0 included: it is hard-wired and never written, so
+	// its ready time stays zero).
+	NIntSrc uint8
+	NFPSrc  uint8
+	IntSrc  [MaxIntSrcs]Reg
+	FPSrc   [MaxFPSrcs]Reg
+}
+
+// FUClassOf maps an instruction class to the functional-unit pool that
+// executes it: jumps resolve on the branch unit, non-repeatable reads and
+// nops occupy an integer ALU slot, atomics use the load pipe.
+func FUClassOf(class Class) Class {
+	switch class {
+	case ClassJump:
+		return ClassBranch
+	case ClassNonRepeat:
+		return ClassIntALU
+	case ClassAtomic:
+		return ClassLoad
+	case ClassNop:
+		return ClassIntALU
+	default:
+		return class
+	}
+}
+
+// Predecode predecodes a single instruction.
+func Predecode(in Inst) DecInst {
+	class := ClassOf(in.Op)
+	d := DecInst{
+		Inst:    in,
+		Class:   class,
+		FUClass: FUClassOf(class),
+		ImmU:    uint64(in.Imm),
+	}
+	switch class {
+	case ClassLoad, ClassStore, ClassAtomic:
+		d.Flags |= DecMem | DecLogged
+	case ClassNonRepeat:
+		d.Flags |= DecLogged
+	case ClassBranch:
+		d.Flags |= DecCondBranch
+	case ClassJump:
+		d.Flags |= DecJump
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		d.Flags |= DecFP
+	}
+
+	addInt := func(r Reg) {
+		d.IntSrc[d.NIntSrc] = r
+		d.NIntSrc++
+	}
+	addFP := func(r Reg) {
+		d.FPSrc[d.NFPSrc] = r
+		d.NFPSrc++
+	}
+	switch class {
+	case ClassFPAdd, ClassFPMul, ClassFPDiv:
+		switch in.Op {
+		case OpFCVTIF, OpFMVIF:
+			addInt(in.Rs1)
+		default:
+			addFP(in.Rs1)
+			addFP(in.Rs2)
+		}
+	case ClassLoad:
+		addInt(in.Rs1)
+		if in.Op == OpGLD {
+			addInt(in.Rs2)
+		}
+	case ClassStore:
+		addInt(in.Rs1)
+		if in.Op == OpFST {
+			addFP(in.Rs2)
+		} else {
+			addInt(in.Rs2)
+		}
+		if in.Op == OpSST {
+			addInt(in.Rd)
+		}
+	case ClassAtomic:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case ClassBranch:
+		addInt(in.Rs1)
+		addInt(in.Rs2)
+	case ClassJump:
+		if in.Op == OpJALR {
+			addInt(in.Rs1)
+		}
+	case ClassNop, ClassNonRepeat:
+	default: // integer ALU/mul/div
+		addInt(in.Rs1)
+		switch in.Op {
+		case OpADDI, OpANDI, OpORI, OpXORI,
+			OpSLLI, OpSRLI, OpSRAI, OpSLTI, OpLUI:
+		default:
+			addInt(in.Rs2)
+		}
+	}
+	return d
+}
+
+// predecodeProgram predecodes every instruction of a program.
+func predecodeProgram(insts []Inst) []DecInst {
+	dec := make([]DecInst, len(insts))
+	for i, in := range insts {
+		dec[i] = Predecode(in)
+	}
+	return dec
+}
+
+// Decoded returns the program's predecode table, building and caching it
+// on first use. Safe for concurrent use; racing builders produce
+// identical tables, so last-write-wins is harmless. Insts must not be
+// mutated after the first call.
+func (p *Program) Decoded() []DecInst {
+	if t := p.dec.Load(); t != nil {
+		return *t
+	}
+	t := predecodeProgram(p.Insts)
+	p.dec.Store(&t)
+	return t
+}

@@ -1,0 +1,142 @@
+package isa_test
+
+import (
+	"testing"
+
+	"paraverser/internal/isa"
+	"paraverser/internal/workload/spec"
+)
+
+// refDecode is an independent reference predecoder transcribed from the
+// pre-predecode per-step logic (the timing model's srcReady operand
+// rules, its FU-pool mapping, and the emulator's immediate-form and
+// flag derivations). TestPredecodeMatchesReference diffs Predecode
+// against it instruction by instruction, so any drift between the
+// cached table and the semantics the hot loops used to re-derive shows
+// up as a field-level mismatch.
+func refDecode(in isa.Inst) isa.DecInst {
+	class := isa.ClassOf(in.Op)
+	d := isa.DecInst{Inst: in, Class: class, ImmU: uint64(in.Imm)}
+
+	// FU-pool mapping (was cpu.fuClassFor).
+	switch class {
+	case isa.ClassJump:
+		d.FUClass = isa.ClassBranch
+	case isa.ClassNonRepeat, isa.ClassNop:
+		d.FUClass = isa.ClassIntALU
+	case isa.ClassAtomic:
+		d.FUClass = isa.ClassLoad
+	default:
+		d.FUClass = class
+	}
+
+	// Property flags.
+	switch class {
+	case isa.ClassLoad, isa.ClassStore, isa.ClassAtomic:
+		d.Flags = isa.DecMem | isa.DecLogged
+	case isa.ClassNonRepeat:
+		d.Flags = isa.DecLogged
+	case isa.ClassBranch:
+		d.Flags = isa.DecCondBranch
+	case isa.ClassJump:
+		d.Flags = isa.DecJump
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		d.Flags = isa.DecFP
+	}
+
+	// Operand-readiness descriptor (was cpu.(*Core).srcReady).
+	rInt := func(r isa.Reg) { d.IntSrc[d.NIntSrc] = r; d.NIntSrc++ }
+	rFP := func(r isa.Reg) { d.FPSrc[d.NFPSrc] = r; d.NFPSrc++ }
+	switch class {
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		switch in.Op {
+		case isa.OpFCVTIF, isa.OpFMVIF:
+			rInt(in.Rs1)
+		default:
+			rFP(in.Rs1)
+			rFP(in.Rs2)
+		}
+	case isa.ClassLoad:
+		rInt(in.Rs1)
+		if in.Op == isa.OpGLD {
+			rInt(in.Rs2)
+		}
+	case isa.ClassStore:
+		rInt(in.Rs1)
+		if in.Op == isa.OpFST {
+			rFP(in.Rs2)
+		} else {
+			rInt(in.Rs2)
+		}
+		if in.Op == isa.OpSST {
+			rInt(in.Rd)
+		}
+	case isa.ClassAtomic:
+		rInt(in.Rs1)
+		rInt(in.Rs2)
+	case isa.ClassBranch:
+		rInt(in.Rs1)
+		rInt(in.Rs2)
+	case isa.ClassJump:
+		if in.Op == isa.OpJALR {
+			rInt(in.Rs1)
+		}
+	case isa.ClassNop, isa.ClassNonRepeat:
+	default: // integer ALU/mul/div
+		rInt(in.Rs1)
+		switch in.Op {
+		case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+			isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpLUI:
+		default:
+			rInt(in.Rs2)
+		}
+	}
+	return d
+}
+
+func diffDec(t *testing.T, ctx string, in isa.Inst, got, want isa.DecInst) {
+	t.Helper()
+	if got != want {
+		t.Errorf("%s: op %v: predecode mismatch\n got %+v\nwant %+v", ctx, in.Op, got, want)
+	}
+}
+
+// TestPredecodeMatchesReference covers every valid opcode with
+// exhaustive register/immediate patterns, including negative immediates
+// (whose uint64 conversion feeds address generation directly).
+func TestPredecodeMatchesReference(t *testing.T) {
+	imms := []int64{0, 1, -1, 8, -8, 4096, -4096, 1 << 40, -(1 << 40)}
+	regs := []isa.Reg{0, 1, 2, 15, 31}
+	for op := isa.Op(1); op.Valid(); op++ {
+		for _, imm := range imms {
+			for _, rd := range regs {
+				in := isa.Inst{Op: op, Rd: rd, Rs1: 4, Rs2: 5, Imm: imm}
+				diffDec(t, "synthetic", in, isa.Predecode(in), refDecode(in))
+			}
+		}
+	}
+}
+
+// TestProgramDecodedMatchesReference diffs the cached per-program
+// predecode table against the reference for every SPEC benchmark
+// generator profile — the instruction streams the experiments actually
+// execute.
+func TestProgramDecodedMatchesReference(t *testing.T) {
+	for _, p := range spec.Profiles() {
+		prog, err := p.Build(50)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		dec := prog.Decoded()
+		if len(dec) != len(prog.Insts) {
+			t.Fatalf("%s: table has %d entries for %d instructions", p.Name, len(dec), len(prog.Insts))
+		}
+		for i, in := range prog.Insts {
+			diffDec(t, p.Name, in, dec[i], refDecode(in))
+		}
+		// The table is cached: a second call must return the same slice.
+		if again := prog.Decoded(); &again[0] != &dec[0] {
+			t.Errorf("%s: Decoded rebuilt the table instead of caching it", p.Name)
+		}
+	}
+}

@@ -12,7 +12,10 @@
 // (GLD/SST), and non-repeatable reads.
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Reg identifies an architectural register. Integer registers are X0-X31
 // (X0 is hard-wired to zero); floating-point registers are F0-F31 and are
@@ -151,7 +154,14 @@ const (
 	ClassJump   // unconditional
 	ClassNonRepeat
 	ClassNop
+
+	numClasses // sentinel; keep last
 )
+
+// NumClasses is the number of class values including ClassInvalid, sized
+// for dense per-class lookup tables (functional-unit pools and the like)
+// indexed directly by Class.
+const NumClasses = int(numClasses)
 
 // Inst is a decoded instruction. Programs hold instructions in decoded
 // form; Encode/Decode provide the 8-byte binary form used for instruction
@@ -177,6 +187,10 @@ type Program struct {
 	DataBase uint64
 	// Entry points, one per hart. A single-threaded program has one.
 	Entries []uint64
+
+	// dec is the lazily built predecode table (see Decoded). Insts must
+	// not be mutated after the first Decoded call.
+	dec atomic.Pointer[[]DecInst]
 }
 
 // InstBytes is the encoded size of one instruction, used for instruction

@@ -1,0 +1,74 @@
+#!/bin/sh
+# bench_pr3.sh — record the PR 3 headline performance numbers.
+#
+# Runs the three hot-path micro-benchmarks (-benchmem) and times the
+# quick-scale fig6 and all experiment suites end to end, then writes the
+# results to BENCH_pr3.json in the repo root. The "baseline" block holds
+# the same measurements taken at the pre-PR commit for comparison; pass
+# BASELINE_BIN=<path to a paraverser binary built from that commit> to
+# re-measure the wall-clock rows, otherwise the recorded numbers are kept.
+set -eu
+cd "$(dirname "$0")/.."
+
+bench() { # bench <pkg> <name> -> "ns_op allocs_op extra"
+	go test "$1" -run '^$' -bench "^$2\$" -benchmem -benchtime=2s 2>/dev/null |
+		awk -v name="$2" '$1 ~ "^"name {
+			extra = ""
+			for (i = 4; i <= NF; i++) if ($(i+1) == "Minst/s") extra = $i
+			for (i = 4; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+			print $3, allocs, (extra == "" ? "null" : extra)
+		}'
+}
+
+wallclock() { # wallclock <binary> <experiment...> -> seconds
+	start=$(date +%s.%N)
+	"$@" >/dev/null 2>&1
+	end=$(date +%s.%N)
+	echo "$start $end" | awk '{printf "%.2f", $2 - $1}'
+}
+
+echo "building..." >&2
+go build -o /tmp/paraverser_bench ./cmd/paraverser
+
+echo "micro-benchmarks..." >&2
+set -- $(bench ./internal/emu BenchmarkHartStep)
+step_ns=$1 step_allocs=$2
+set -- $(bench ./internal/cpu BenchmarkCoreConsume)
+consume_ns=$1 consume_allocs=$2
+set -- $(bench ./internal/core BenchmarkCheckSegment)
+check_ns=$1 check_allocs=$2 check_minst=$3
+
+echo "quick fig6..." >&2
+fig6_s=$(wallclock /tmp/paraverser_bench -quick fig6)
+echo "quick all..." >&2
+all_s=$(wallclock /tmp/paraverser_bench -quick all)
+
+base_fig6=17.99
+base_all=92.63
+if [ -n "${BASELINE_BIN:-}" ]; then
+	echo "baseline quick fig6..." >&2
+	base_fig6=$(wallclock "$BASELINE_BIN" -quick fig6)
+	echo "baseline quick all..." >&2
+	base_all=$(wallclock "$BASELINE_BIN" -quick all)
+fi
+
+cat > BENCH_pr3.json <<EOF
+{
+  "benchmarks": {
+    "BenchmarkHartStep":     {"ns_op": $step_ns, "allocs_op": $step_allocs},
+    "BenchmarkCoreConsume":  {"ns_op": $consume_ns, "allocs_op": $consume_allocs},
+    "BenchmarkCheckSegment": {"ns_op": $check_ns, "allocs_op": $check_allocs, "minst_per_s": $check_minst}
+  },
+  "wallclock_s": {
+    "quick_fig6": $fig6_s,
+    "quick_all": $all_s
+  },
+  "baseline": {
+    "commit": "8e165a1",
+    "quick_fig6": $base_fig6,
+    "quick_all": $base_all
+  }
+}
+EOF
+echo "wrote BENCH_pr3.json:" >&2
+cat BENCH_pr3.json
