@@ -17,9 +17,17 @@
 // runs every experiment concurrently over the shared result cache, so
 // baselines and DVFS sweeps shared between figures are simulated exactly
 // once; output is still printed in the fixed experiment order.
+//
+// Observability: -metrics-out / -metrics-prom export the deterministic
+// run metrics (JSON / Prometheus text) on exit, -trace records a
+// bounded segment trace in Chrome trace_event JSON, -progress prints a
+// live status line to stderr. `paraverser metrics [-trace trace.json]
+// metrics.json` renders a saved snapshot and cross-checks it against a
+// trace.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"paraverser/internal/experiments"
+	"paraverser/internal/obs"
 )
 
 func main() {
@@ -36,6 +45,9 @@ func main() {
 }
 
 func run(args []string) int {
+	if len(args) > 0 && args[0] == "metrics" {
+		return runMetricsCmd(args[1:])
+	}
 	fs := flag.NewFlagSet("paraverser", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use the reduced test scale (~1 minute)")
 	insts := fs.Int64("insts", 0, "override measured instructions per benchmark")
@@ -49,12 +61,21 @@ func run(args []string) int {
 	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsOut := fs.String("metrics-out", "", "write the deterministic run-metrics snapshot as JSON to this file on exit")
+	metricsProm := fs.String("metrics-prom", "", "write the run metrics in Prometheus text format to this file on exit")
+	traceOut := fs.String("trace", "", "record a segment trace and write Chrome trace_event JSON to this file on exit")
+	traceCap := fs.Int("trace-cap", 1<<16, "segment-trace ring capacity (excess events are dropped and counted)")
+	progressFlag := fs.Bool("progress", false, "print a live progress line (segments/s, cache hit rate, ETA) to stderr")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
+		fmt.Fprintf(fs.Output(), "       paraverser metrics [-trace trace.json] metrics.json\n")
 		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign all\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 	if fs.NArg() == 0 {
@@ -111,6 +132,60 @@ func run(args []string) int {
 	experiments.SetWorkers(*workers)
 	experiments.SetCheckWorkers(*checkWorkers)
 
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace(*traceCap)
+		experiments.SetTrace(trace)
+		defer experiments.SetTrace(nil)
+	}
+	var prog *obs.Progress
+	if *progressFlag {
+		prog = obs.NewProgress(os.Stderr, time.Second, experiments.Progress)
+		prog.Start()
+	}
+	// finish stops the progress line and, on success, writes the
+	// requested observability exports; export failures turn a clean run
+	// into exit 1 so CI can trust the artifacts exist.
+	finish := func(code int) int {
+		if prog != nil {
+			prog.Stop()
+		}
+		if code != 0 {
+			return code
+		}
+		if trace != nil {
+			if err := trace.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "paraverser: -trace: %v\n", err)
+				return 1
+			}
+		}
+		if *metricsOut != "" || *metricsProm != "" {
+			snap := experiments.MetricsSnapshot()
+			if *metricsOut != "" {
+				if err := snap.WriteSnapshotFile(*metricsOut); err != nil {
+					fmt.Fprintf(os.Stderr, "paraverser: -metrics-out: %v\n", err)
+					return 1
+				}
+			}
+			if *metricsProm != "" {
+				f, err := os.Create(*metricsProm)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "paraverser: -metrics-prom: %v\n", err)
+					return 1
+				}
+				err = snap.WritePrometheus(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "paraverser: -metrics-prom: %v\n", err)
+					return 1
+				}
+			}
+		}
+		return 0
+	}
+
 	names := fs.Args()
 	concurrent := false
 	if len(names) == 1 && names[0] == "all" {
@@ -150,23 +225,77 @@ func run(args []string) int {
 			reports[i] = report{text, time.Since(start), err}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, err)
-				return 1
+				return finish(1)
 			}
 			fmt.Print(text)
 			fmt.Printf("[%s completed in %v]\n\n", name, reports[i].dur.Round(time.Millisecond))
 		}
-		return 0
+		return finish(0)
 	}
 
 	for i, name := range names {
 		r := reports[i]
 		if r.err != nil {
 			fmt.Fprintf(os.Stderr, "paraverser: %s: %v\n", name, r.err)
-			return 1
+			return finish(1)
 		}
 		fmt.Print(r.text)
 		fmt.Printf("[%s completed in %v]\n\n", name, r.dur.Round(time.Millisecond))
 	}
+	return finish(0)
+}
+
+// runMetricsCmd implements `paraverser metrics [-trace trace.json]
+// metrics.json`: render a saved metrics snapshot as a summary table
+// and, with -trace, cross-check the trace's segment accounting
+// (stored events + dropped) against the snapshot's segments_total.
+func runMetricsCmd(args []string) int {
+	fs := flag.NewFlagSet("paraverser metrics", flag.ContinueOnError)
+	traceFile := fs.String("trace", "", "cross-check segment counts against this Chrome trace JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: paraverser metrics [-trace trace.json] metrics.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	snap, err := obs.ReadSnapshotFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraverser: metrics: %v\n", err)
+		return 1
+	}
+	fmt.Print(snap.Summary())
+	if *traceFile == "" {
+		return 0
+	}
+	events, dropped, err := obs.ReadTraceFile(*traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraverser: metrics: %v\n", err)
+		return 1
+	}
+	var segs uint64
+	for i := range events {
+		if events[i].Cat == obs.CatSegment {
+			segs++
+		}
+	}
+	total := segs + dropped[obs.CatSegment]
+	want := snap.CounterValue("paraverser_segments_total")
+	if total != want {
+		fmt.Fprintf(os.Stderr,
+			"paraverser: metrics: trace accounts for %d segments (%d stored + %d dropped), snapshot says %d\n",
+			total, segs, dropped[obs.CatSegment], want)
+		return 1
+	}
+	fmt.Printf("trace: %d segment events + %d dropped = %d, matches segments_total\n",
+		segs, dropped[obs.CatSegment], want)
 	return 0
 }
 

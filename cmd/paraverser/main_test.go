@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"paraverser/internal/experiments"
@@ -15,6 +17,32 @@ func TestRunArgHandling(t *testing.T) {
 	}
 	if code := run([]string{"no-such-experiment"}); code != 1 {
 		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+	// -h is a request, not an error: flag.ErrHelp exits 0.
+	if code := run([]string{"-h"}); code != 0 {
+		t.Errorf("-h: exit %d, want 0", code)
+	}
+	if code := run([]string{"metrics", "-h"}); code != 0 {
+		t.Errorf("metrics -h: exit %d, want 0", code)
+	}
+}
+
+func TestMetricsCmdArgHandling(t *testing.T) {
+	if code := run([]string{"metrics"}); code != 2 {
+		t.Errorf("metrics with no file: exit %d, want 2", code)
+	}
+	if code := run([]string{"metrics", "-bogus"}); code != 2 {
+		t.Errorf("metrics with bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"metrics", filepath.Join(t.TempDir(), "absent.json")}); code != 1 {
+		t.Errorf("metrics with missing file: exit %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"metrics", bad}); code != 1 {
+		t.Errorf("metrics with corrupt file: exit %d, want 1", code)
 	}
 }
 
@@ -51,6 +79,47 @@ func TestExperimentDispatchCoversAll(t *testing.T) {
 	}
 	if _, err := runExperiment("nope", sc, camp); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestObservabilityRoundTrip drives the full export pipeline: a tiny
+// fig6 with tracing, metrics and progress on, then the metrics
+// subcommand cross-checking the trace against the snapshot.
+func TestObservabilityRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	prom := filepath.Join(dir, "metrics.prom")
+	trace := filepath.Join(dir, "trace.json")
+	code := run([]string{
+		"-quick", "-insts", "20000", "-warmup", "20000",
+		"-benchmarks", "exchange2", "-j", "2", "-progress",
+		"-metrics-out", metrics, "-metrics-prom", prom, "-trace", trace,
+		"fig6",
+	})
+	if code != 0 {
+		t.Fatalf("traced fig6: exit %d", code)
+	}
+	for _, p := range []string{metrics, prom, trace} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("export %s missing or empty (err=%v)", p, err)
+		}
+	}
+	if code := run([]string{"metrics", "-trace", trace, metrics}); code != 0 {
+		t.Errorf("metrics cross-check: exit %d, want 0", code)
+	}
+}
+
+// TestExportFailureExitsNonzero asserts a failed export turns an
+// otherwise clean run into exit 1, so CI can trust the artifacts.
+func TestExportFailureExitsNonzero(t *testing.T) {
+	code := run([]string{
+		"-quick", "-insts", "20000", "-warmup", "20000",
+		"-benchmarks", "exchange2",
+		"-metrics-out", t.TempDir(), // a directory: os.Create fails
+		"fig6",
+	})
+	if code != 1 {
+		t.Errorf("unwritable -metrics-out: exit %d, want 1", code)
 	}
 }
 

@@ -112,7 +112,14 @@ type Allocator struct {
 	// queries call it lazily, which makes AcquireFree and EarliestFree
 	// the protocol-defined join points of the pipelined engine.
 	join func(*Checker)
+	// probations counts quarantine→probation promotions for the run's
+	// metrics shard.
+	probations uint64
 }
+
+// Probations returns how many quarantined checkers were promoted to
+// probation over the run.
+func (a *Allocator) Probations() uint64 { return a.probations }
 
 // SetJoin installs the pipelined engine's join hook.
 func (a *Allocator) SetJoin(fn func(*Checker)) { a.join = fn }
@@ -141,6 +148,7 @@ func (a *Allocator) refresh(nowNS float64) {
 		if c.State == CheckerQuarantined && nowNS >= c.ReentryNS {
 			c.State = CheckerProbation
 			c.ProbationClean = 0
+			a.probations++
 		}
 	}
 }

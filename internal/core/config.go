@@ -9,6 +9,7 @@ import (
 	"paraverser/internal/emu"
 	"paraverser/internal/isa"
 	"paraverser/internal/noc"
+	"paraverser/internal/obs"
 )
 
 // Mode selects how the system behaves when checker resources run out
@@ -183,6 +184,12 @@ type Config struct {
 
 	// Seed randomises the workload's non-repeatable instruction streams.
 	Seed uint64
+
+	// Trace, when non-nil, receives segment and check events from the run
+	// (Chrome trace_event dump, obs.Trace). Observability only: it never
+	// influences simulated outcomes, so it is excluded from the run-cache
+	// fingerprint.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns a full-coverage ParaVerser system with the given

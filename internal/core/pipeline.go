@@ -216,6 +216,18 @@ func (s *System) dispatchPipelined(l *lane, ck *Checker, seg *Segment) {
 	// the checker is still reading.
 	l.takeArena()
 
+	// Queue-depth sample: in-flight checks on this pool, the new one
+	// included. The pending set at a dispatch point is protocol-defined
+	// (joins happen only at pool queries), so the sample stream is
+	// identical at every CheckWorkers setting.
+	depth := uint64(0)
+	for _, c := range l.alloc.Checkers() {
+		if c.pending != nil {
+			depth++
+		}
+	}
+	s.metrics.CheckQueueDepth.Observe(depth)
+
 	if s.checkSem != nil {
 		p.done = make(chan struct{})
 		go func() {
@@ -264,8 +276,15 @@ func (s *System) joinCheck(ck *Checker) {
 		s.l3.Access(a.addr, a.write)
 	}
 
+	// Joins are reached only through protocol-defined points (pool
+	// queries, warm snapshot, collection), so the latency observation
+	// order — and with it the metrics shard — is worker-count-invariant.
+	s.metrics.CheckLatencyNS.Observe(uint64(p.durNS + 0.5))
+	s.traceCheck(p.l, ck, p.seg, p.startNS, p.durNS)
+
 	l := p.l
 	if p.res.Detected() {
+		s.metrics.SegmentsMismatched++
 		l.res.Detections++
 		if l.res.FirstDetectionInst < 0 {
 			l.res.FirstDetectionInst = p.execAt

@@ -9,11 +9,14 @@ import (
 )
 
 // renderResult flattens every externally observable statistic of a run
-// into one string, so equality means the experiment tables built from
-// the Result are byte-identical.
+// into one string — including the metrics shard, whose queue-depth and
+// latency histograms are the values most tempted to vary with
+// scheduling — so equality means the experiment tables AND the metrics
+// export built from the Result are byte-identical.
 func renderResult(res *Result) string {
-	return fmt.Sprintf("lanes=%v\ncheckers=%v\nlink=%v llc=%v",
-		res.Lanes, res.CheckersByLane, res.MaxLinkUtilisation, res.AvgLLCExtraNS)
+	return fmt.Sprintf("lanes=%v\ncheckers=%v\nlink=%v llc=%v\nmetrics=%s",
+		res.Lanes, res.CheckersByLane, res.MaxLinkUtilisation, res.AvgLLCExtraNS,
+		res.Metrics.String())
 }
 
 // TestPipelinedWorkerCountInvariance is the determinism contract of the

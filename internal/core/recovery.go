@@ -184,6 +184,7 @@ func (s *System) recover(l *lane, suspect *Checker, seg *Segment, detectNS float
 	ev.LatencyNS = now - detectNS
 	st.ReplayInsts += ev.LatencyInsts
 	st.ReplayNS += ev.LatencyNS
+	s.metrics.SegmentsReplayed += uint64(ev.Retries)
 	if ev.ReplayedClean {
 		st.ReplayedClean++
 	}
@@ -216,8 +217,10 @@ func (s *System) recover(l *lane, suspect *Checker, seg *Segment, detectNS float
 		retired := l.alloc.Quarantine(suspect, now, rc.Quarantine)
 		ev.Quarantined = true
 		st.Quarantines++
+		s.metrics.Quarantines++
 		if retired {
 			st.Retirements++
+			s.metrics.Retirements++
 		}
 	}
 
@@ -267,15 +270,19 @@ func (s *System) shadowCheck(l *lane, seg *Segment, nowNS float64) {
 		}
 		res, _ := s.replayOn(l, p, seg, nowNS)
 		st.ProbationChecks++
+		s.metrics.ShadowChecks++
 		s.observe(l, p, seg.Insts, res.Detected())
 		readmitted, retired := l.alloc.NoteProbation(p, !res.Detected(), nowNS, s.cfg.Recovery.Quarantine)
 		if readmitted {
 			st.Readmissions++
+			s.metrics.Readmissions++
 		}
 		if retired {
 			st.Retirements++
+			s.metrics.Retirements++
 		} else if res.Detected() {
 			st.Quarantines++
+			s.metrics.Quarantines++
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "paraverser/internal/maintenance"
+import (
+	"paraverser/internal/maintenance"
+	"paraverser/internal/obs"
+)
 
 // Sample caps keep diagnostic samples bounded regardless of run length.
 const (
@@ -97,6 +100,13 @@ type Result struct {
 	// during the run (nil when recovery is disabled). Judge it with any
 	// maintenance.Policy to get retirement recommendations.
 	Maintenance *maintenance.Tracker
+
+	// Metrics is the run's observability shard: raw event counters over
+	// the whole run including warmup (unlike the Lane/Checker statistics
+	// above, which subtract the warmup window). Byte-identical at every
+	// CheckWorkers setting; shards from different runs merge
+	// commutatively (obs.RunMetrics.Merge).
+	Metrics *obs.RunMetrics
 }
 
 // Recovery aggregates the recovery pipeline's activity over lanes.

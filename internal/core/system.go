@@ -11,6 +11,7 @@ import (
 	"paraverser/internal/emu"
 	"paraverser/internal/maintenance"
 	"paraverser/internal/noc"
+	"paraverser/internal/obs"
 )
 
 // System couples main cores to checker cores over the mesh: it drives the
@@ -43,6 +44,13 @@ type System struct {
 
 	llcExtraSum float64
 	llcExtraN   uint64
+
+	// metrics is this run's observability shard (obs package). All writes
+	// happen on the orchestrator goroutine at protocol-defined points, so
+	// the shard is byte-identical at every CheckWorkers setting.
+	metrics *obs.RunMetrics
+	// tracePID identifies this run in the (possibly shared) trace ring.
+	tracePID uint64
 }
 
 type process struct {
@@ -177,12 +185,16 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 		return nil, fmt.Errorf("core: no workloads")
 	}
 	s := &System{
-		cfg:    cfg,
-		mesh:   noc.MustNew(cfg.NoC),
-		layout: cfg.Layout,
-		l3:     cachesim.MustNew(cfg.L3),
-		mem:    dram.New(cfg.DRAM),
-		flows:  newFlowTracker(),
+		cfg:     cfg,
+		mesh:    noc.MustNew(cfg.NoC),
+		layout:  cfg.Layout,
+		l3:      cachesim.MustNew(cfg.L3),
+		mem:     dram.New(cfg.DRAM),
+		flows:   newFlowTracker(),
+		metrics: obs.NewRunMetrics(),
+	}
+	if cfg.Trace != nil {
+		s.tracePID = cfg.Trace.NextPID()
 	}
 	if cfg.Recovery.Enabled {
 		s.tracker = maintenance.NewTracker()
@@ -382,6 +394,7 @@ func (s *System) runSegment(l *lane) error {
 				stall := e.FreeAtNS - now
 				l.main.StallNS(stall)
 				l.res.StallNS += stall
+				s.metrics.StallNS += uint64(stall + 0.5)
 				now = l.main.TimeNS()
 				ck = e
 			}
@@ -468,13 +481,19 @@ func (s *System) runSegment(l *lane) error {
 	l.res.CheckpointNS += s.cfg.CheckpointStallCycles / (l.main.FreqGHz)
 	endNS := l.main.TimeNS()
 	l.res.Segments++
+	s.metrics.Segments++
+	s.metrics.Insts += l.segInsts
+	s.metrics.CheckpointNS += uint64(s.cfg.CheckpointStallCycles/l.main.FreqGHz + 0.5)
+	s.traceSegment(l, startNS, endNS)
 
 	if !l.segChecked {
 		l.res.UncheckedInsts += l.segInsts
+		s.metrics.SegmentsUnchecked++
 		if l.segDegraded {
 			l.res.DegradedSegments++
 			l.res.DegradedInsts += l.segInsts
 			l.res.DegradedNS += endNS - startNS
+			s.metrics.SegmentsDegraded++
 		}
 		if s.recovering() {
 			// Cooled-down checkers re-test against the retained clean
@@ -509,6 +528,8 @@ func (s *System) runSegment(l *lane) error {
 	l.res.CheckedInsts += seg.Insts
 	l.res.LogBytes += uint64(seg.LogBytes)
 	l.res.LogLines += uint64(seg.LogLines)
+	s.metrics.SegmentsChecked++
+	s.metrics.InstsChecked += seg.Insts
 
 	s.dispatch(l, ck, seg)
 	s.flows.refresh(s.mesh, endNS)
@@ -586,6 +607,9 @@ func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
 		s.dispatchPipelined(l, ck, seg)
 		return
 	}
+	// A synchronous check runs inline at its dispatch point, so exactly
+	// one check is ever in flight.
+	s.metrics.CheckQueueDepth.Observe(1)
 	// NoC traffic: the log lines plus start/end register checkpoints.
 	xferBytes := float64(seg.LogBytes) + 2*float64(l.rcu.CheckpointTransferBytes())
 	if s.cfg.LSLTrafficOnNoC {
@@ -640,7 +664,11 @@ func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
 	// footnote 12).
 	ck.Core.Hier.L1D.LogReset()
 
+	s.metrics.CheckLatencyNS.Observe(uint64(durNS + 0.5))
+	s.traceCheck(l, ck, seg, startNS, durNS)
+
 	if res.Detected() {
+		s.metrics.SegmentsMismatched++
 		l.res.Detections++
 		if l.res.FirstDetectionInst < 0 {
 			l.res.FirstDetectionInst = l.executed
@@ -705,6 +733,26 @@ func (s *System) collect() *Result {
 	for _, l := range s.lanes {
 		s.finishLane(l)
 		r.Lanes = append(r.Lanes, l.res)
+
+		issued := l.main.IssueCounts()
+		for c := range issued {
+			s.metrics.FUIssueMain[c] += issued[c]
+		}
+		if l.alloc != nil {
+			// Pool-utilization denominator: this lane's wall clock times
+			// its pool size, in integer nanoseconds.
+			wall := l.main.TimeNS()
+			s.metrics.CheckWindowNS += uint64(wall+0.5) * uint64(len(l.alloc.Checkers()))
+			s.metrics.ProbationEntries += l.alloc.Probations()
+			for _, c := range l.alloc.Checkers() {
+				s.metrics.CheckBusyNS += uint64(c.BusyNS + 0.5)
+				ckIssued := c.Core.IssueCounts()
+				for cl := range ckIssued {
+					s.metrics.FUIssueChecker[cl] += ckIssued[cl]
+				}
+			}
+		}
+
 		var cks []CheckerResult
 		if l.alloc != nil {
 			for i, c := range l.alloc.Checkers() {
@@ -728,7 +776,37 @@ func (s *System) collect() *Result {
 		}
 		r.CheckersByLane = append(r.CheckersByLane, cks)
 	}
+	r.Metrics = s.metrics
 	return r
+}
+
+// traceSegment emits one completed checkpoint interval into the run's
+// trace ring (no-op without -trace). Lane index is the thread row.
+func (s *System) traceSegment(l *lane, startNS, endNS float64) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	name := fmt.Sprintf("seg %d", l.res.Segments-1)
+	s.cfg.Trace.Emit(obs.CatSegment, name, s.tracePID, uint64(l.idx), startNS, endNS-startNS,
+		map[string]string{
+			"lane":    l.name,
+			"insts":   fmt.Sprint(l.segInsts),
+			"checked": fmt.Sprint(l.segChecked),
+		})
+}
+
+// traceCheck emits one completed segment verification. Checker rows sit
+// above the lane rows: tid = 100 + lane*64 + checker.
+func (s *System) traceCheck(l *lane, ck *Checker, seg *Segment, startNS, durNS float64) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace.Emit(obs.CatCheck, fmt.Sprintf("check seg %d", seg.Seq),
+		s.tracePID, uint64(100+l.idx*64+ck.ID), startNS, durNS,
+		map[string]string{
+			"lane":    l.name,
+			"checker": fmt.Sprint(ck.ID),
+		})
 }
 
 // Run builds and runs a system in one call.

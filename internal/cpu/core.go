@@ -59,6 +59,11 @@ type Core struct {
 
 	insts  uint64
 	cycles float64 // commit time of the most recent instruction
+
+	// issued counts instructions per FU class — the only per-instruction
+	// metric in the system. A dense array increment keeps Consume
+	// allocation-free; obs.RunMetrics picks the counts up at collect.
+	issued [isa.NumClasses]uint64
 }
 
 // ring is a fixed-size ring of completion times used for occupancy
@@ -165,6 +170,10 @@ func (c *Core) TimeNS() float64 { return c.cycles / c.FreqGHz }
 
 // Insts returns the number of instructions consumed.
 func (c *Core) Insts() uint64 { return c.insts }
+
+// IssueCounts returns the per-FU-class issue counters, indexed by
+// isa.Class.
+func (c *Core) IssueCounts() [isa.NumClasses]uint64 { return c.issued }
 
 // IPC returns retired instructions per cycle.
 func (c *Core) IPC() float64 {
@@ -322,6 +331,7 @@ func (c *Core) Consume(eff *emu.Effect) {
 	}
 	start, latency := c.allocFU(d.FUClass, issue)
 	done := start + float64(latency)
+	c.issued[d.FUClass]++
 
 	// --- memory ---
 	switch class {

@@ -32,12 +32,27 @@ func Campaign(sc Scale, seed int64, trials, workers int) (*fault.CampaignResult,
 	opp := core.DefaultConfig(a510Spec(2, 2.0))
 	opp.Mode = core.ModeOpportunistic
 	opp.Recovery = core.DefaultRecovery()
+	// Campaign trials bypass the engine (they call fault.RunCampaign
+	// directly), so the process-wide check-worker and trace settings are
+	// applied here. Neither changes trial outcomes.
+	applyCheckWorkers(&full)
+	applyTrace(&full)
+	applyCheckWorkers(&opp)
+	applyTrace(&opp)
 
-	return fault.RunCampaign(fault.CampaignConfig{
+	r, err := fault.RunCampaign(fault.CampaignConfig{
 		Seed:      seed,
 		Trials:    trials,
 		Workers:   workers,
 		Workloads: workloads,
 		Configs:   []core.Config{full, opp},
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Campaign trials never pass through the engine's cache, so their
+	// merged shard is recorded explicitly; the aggregate stays
+	// deterministic because trial metrics depend only on the seed.
+	defaultEngine().RecordMetrics(r.RunMetrics())
+	return r, nil
 }

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -164,7 +165,11 @@ type SeriesResult struct {
 }
 
 // Geomean returns the geometric mean of one configuration's slowdown
-// ratios; for percentage metrics it first converts back to ratios.
+// ratios; for percentage metrics it first converts back to ratios. An
+// empty series — a config that assembled no values at all — returns
+// NaN rather than 0: a silent 0 reads as a perfect result in the
+// table, exactly the failure mode the PR 2 empty-geomean fix closed,
+// while NaN makes the broken assembly visible in the GEOMEAN row.
 func (r *SeriesResult) Geomean(config string) float64 {
 	vals := r.Values[config]
 	xs := make([]float64, 0, len(vals))
@@ -174,12 +179,14 @@ func (r *SeriesResult) Geomean(config string) float64 {
 		}
 	}
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (stats.Geomean(xs) - 1) * 100
 }
 
-// Range returns the min and max value of one configuration.
+// Range returns the min and max value of one configuration, or
+// (NaN, NaN) for an empty series (same fail-loud rationale as
+// Geomean: stats.MinMax's 0,0 would masquerade as data).
 func (r *SeriesResult) Range(config string) (float64, float64) {
 	vals := r.Values[config]
 	xs := make([]float64, 0, len(vals))
@@ -187,6 +194,9 @@ func (r *SeriesResult) Range(config string) (float64, float64) {
 		if v, ok := vals[b]; ok {
 			xs = append(xs, v)
 		}
+	}
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
 	}
 	return stats.MinMax(xs)
 }

@@ -30,10 +30,69 @@ func cacheable(cfg *core.Config) bool { return cfg.CheckerInterceptor == nil }
 // what makes cross-figure deduplication work. fmt prints map fields in
 // sorted key order, so the rendering is deterministic.
 //
-// fingerprintedConfigFields pins the number of fields this function must
-// cover; TestFingerprintCoversConfig fails when core.Config grows a field
-// that is not accounted for here.
-const fingerprintedConfigFields = 23
+// fingerprintedConfigFields records, for every field of core.Config,
+// whether writeConfig hashes it (true) or deliberately excludes it
+// (false, with the reason below). TestFingerprintCoversConfig reflects
+// over core.Config and fails on any field missing from this table, so a
+// new field cannot silently reuse stale cache entries: it must be added
+// here — and to writeConfig if it can change simulated outcomes.
+var fingerprintedConfigFields = map[string]bool{
+	"Main":                   true,
+	"MainFreqGHz":            true,
+	"LaneMains":              true,
+	"Checkers":               true,
+	"Mode":                   true,
+	"HashMode":               true,
+	"EagerWake":              true,
+	"TimeoutInsts":           true,
+	"DedicatedLSLBytes":      true,
+	"CheckpointStallCycles":  true,
+	"CheckpointDrains":       true,
+	"InterruptIntervalInsts": true,
+	"SamplePeriod":           true,
+	// CheckWorkers only changes wall-clock time: the pipelined engine
+	// guarantees byte-identical results at every worker count
+	// (core/pipeline.go), so runs differing only here share one entry.
+	"CheckWorkers":       false,
+	"NoC":                true,
+	"Layout":             true,
+	"LSLTrafficOnNoC":    true,
+	"L3":                 true,
+	"L3HitNS":            true,
+	"DRAM":               true,
+	"CheckerInterceptor": true,
+	"Recovery":           true,
+	"Seed":               true,
+	// Trace is observability only (segment trace ring): it never changes
+	// simulated outcomes, and hashing the pointer would needlessly split
+	// the cache per ring instance.
+	"Trace": false,
+}
+
+// fingerprintedCPUFields is the same accounting for cpu.Config, which
+// writeConfig hashes wholesale via %+v (Main, LaneMains, Checkers): every
+// listed field rides along in that rendering. A new cpu.Config field
+// fails TestFingerprintCoversConfig until it is listed here; mark it
+// false only if it genuinely cannot affect simulated timing.
+var fingerprintedCPUFields = map[string]bool{
+	"Name":          true,
+	"OoO":           true,
+	"FetchWidth":    true,
+	"IssueWidth":    true,
+	"CommitWidth":   true,
+	"FrontendDepth": true,
+	"ROB":           true,
+	"IQ":            true,
+	"LQ":            true,
+	"SQ":            true,
+	"FUs":           true,
+	"L1I":           true,
+	"L1D":           true,
+	"L2":            true,
+	"BigPredictor":  true,
+	"NominalGHz":    true,
+	"AreaMM2":       true,
+}
 
 func fingerprint(cfg *core.Config) string {
 	h := sha256.New()
@@ -65,11 +124,8 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	// 20-22: recovery policy and workload seed. Recovery.Quarantine rides
 	// along inside %+v.
 	fmt.Fprintf(w, "recovery=%+v seed=%v\n", cfg.Recovery, cfg.Seed)
-	// 23: CheckWorkers is deliberately NOT hashed. The pipelined
-	// verification engine guarantees byte-identical results at every
-	// worker count (core/pipeline.go), so runs that differ only in
-	// CheckWorkers describe the same simulation and may share one cache
-	// entry.
+	// CheckWorkers and Trace are deliberately NOT hashed; see the
+	// fingerprintedConfigFields table for the rationale.
 }
 
 // workloadsKey renders the workload list's identity. Programs built from

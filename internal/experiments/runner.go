@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"paraverser/internal/core"
+	"paraverser/internal/obs"
 )
 
 // Engine fans independent simulation runs out over a bounded worker pool
@@ -35,9 +36,20 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[runKey]*runCall
+	// uncached holds the calls that bypass the cache (fault-injection
+	// runs), so Gather can still merge their metric shards.
+	uncached []*runCall
+	// external holds shards recorded from simulations that bypassed the
+	// engine entirely (the fault campaign drives fault.RunCampaign
+	// directly), so the metrics export covers the whole suite.
+	external []*obs.RunMetrics
 
-	runs atomic.Int64 // simulations actually executed
-	hits atomic.Int64 // submissions served by cache or singleflight
+	runs   atomic.Int64 // simulations actually executed
+	hits   atomic.Int64 // submissions served by cache or singleflight
+	shares atomic.Int64 // the hits that joined a still-in-flight run
+	jobs   atomic.Int64 // submissions issued
+	done   atomic.Int64 // submissions resolved
+	segs   atomic.Int64 // segments closed across executed runs
 }
 
 // NewEngine returns an engine whose pool admits workers concurrent
@@ -62,6 +74,80 @@ func (e *Engine) Runs() int64 { return e.runs.Load() }
 
 // Hits returns the number of deduplicated submissions.
 func (e *Engine) Hits() int64 { return e.hits.Load() }
+
+// Shares returns how many of the hits joined a run that was still in
+// flight rather than already completed. Unlike Runs and Hits this split
+// depends on scheduling, so it feeds the live progress display only and
+// stays out of the deterministic metrics export.
+func (e *Engine) Shares() int64 { return e.shares.Load() }
+
+// ProgressStats samples the engine's live counters for the progress
+// reporter.
+func (e *Engine) ProgressStats() obs.ProgressStats {
+	return obs.ProgressStats{
+		JobsTotal: e.jobs.Load(),
+		JobsDone:  e.done.Load(),
+		Runs:      e.runs.Load(),
+		Hits:      e.hits.Load() - e.shares.Load(),
+		Shares:    e.shares.Load(),
+		Segments:  e.segs.Load(),
+	}
+}
+
+// Gather merges the metric shards of every completed run the engine has
+// executed into one aggregate. Shard merging is commutative integer
+// addition (obs.RunMetrics), so the aggregate is byte-identical for the
+// same submission set at any worker count.
+func (e *Engine) Gather() *obs.RunMetrics {
+	e.mu.Lock()
+	calls := make([]*runCall, 0, len(e.cache)+len(e.uncached))
+	for _, c := range e.cache {
+		calls = append(calls, c)
+	}
+	calls = append(calls, e.uncached...)
+	ext := append([]*obs.RunMetrics(nil), e.external...)
+	e.mu.Unlock()
+
+	m := obs.NewRunMetrics()
+	for _, sh := range ext {
+		m.Merge(sh)
+	}
+	for _, c := range calls {
+		select {
+		case <-c.done:
+			if c.err == nil && c.res != nil && c.res.Metrics != nil {
+				m.Merge(c.res.Metrics)
+			}
+		default: // still in flight; its shard is not readable yet
+		}
+	}
+	return m
+}
+
+// RecordMetrics folds an externally produced shard (e.g. a fault
+// campaign's merged trial metrics) into the engine's aggregate.
+func (e *Engine) RecordMetrics(m *obs.RunMetrics) {
+	if m == nil {
+		return
+	}
+	e.mu.Lock()
+	e.external = append(e.external, m)
+	e.mu.Unlock()
+}
+
+// MetricsSnapshot exports the engine's deterministic metrics: the merged
+// per-run shards plus the run-cache counters. Runs and Hits are functions
+// of the submission multiset alone (executed runs = unique cacheable
+// keys + uncacheable submissions), so the snapshot is byte-identical at
+// any -j / CheckWorkers setting; the scheduling-dependent in-flight
+// share split is deliberately excluded.
+func (e *Engine) MetricsSnapshot() *obs.Snapshot {
+	var b obs.SnapshotBuilder
+	e.Gather().AddTo(&b, "paraverser_")
+	b.Counter("paraverser_runcache_runs_total", "simulations executed (cache misses)", uint64(e.Runs()))
+	b.Counter("paraverser_runcache_hits_total", "submissions deduplicated against an identical run", uint64(e.Hits()))
+	return b.Snapshot()
+}
 
 // runCall is one scheduled simulation; futures returned for equal keys
 // share it (singleflight), so concurrent requests for the same run wait
@@ -95,8 +181,13 @@ func (f *Future) Wait() (*core.Result, error) {
 // fault-injection matrices parallelise under the same bound.
 func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 	applyCheckWorkers(&cfg)
+	applyTrace(&cfg)
+	e.jobs.Add(1)
 	if !cacheable(&cfg) {
 		c := &runCall{done: make(chan struct{}), ws: ws}
+		e.mu.Lock()
+		e.uncached = append(e.uncached, c)
+		e.mu.Unlock()
 		e.start(cfg, c)
 		return &Future{c: c}
 	}
@@ -104,7 +195,7 @@ func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 	e.mu.Lock()
 	if c, ok := e.cache[key]; ok {
 		e.mu.Unlock()
-		e.hits.Add(1)
+		e.noteHit(c)
 		return &Future{c: c}
 	}
 	c := &runCall{done: make(chan struct{}), ws: ws}
@@ -114,17 +205,36 @@ func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 	return &Future{c: c}
 }
 
+// noteHit records one deduplicated submission for the live counters,
+// distinguishing completed-cache hits from in-flight singleflight
+// shares. A deduplicated submission is resolved the moment it attaches
+// to its run — the remaining work belongs to the run's own job — so it
+// counts as done immediately; that keeps JobsDone == JobsTotal exact
+// when the batch drains, with no per-share goroutine racing the final
+// progress render.
+func (e *Engine) noteHit(c *runCall) {
+	e.hits.Add(1)
+	select {
+	case <-c.done:
+	default:
+		e.shares.Add(1)
+	}
+	e.done.Add(1)
+}
+
 // SubmitSpec schedules one SPEC benchmark run with an explicit
 // measurement window. The program is resolved inside the pooled task, so
 // first-time working-set generation parallelises with other runs.
 func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) *Future {
 	applyCheckWorkers(&cfg)
+	applyTrace(&cfg)
+	e.jobs.Add(1)
 	if cacheable(&cfg) {
 		key := runKey{cfg: fingerprint(&cfg), ws: specKey(bench, insts, warmup)}
 		e.mu.Lock()
 		if c, ok := e.cache[key]; ok {
 			e.mu.Unlock()
-			e.hits.Add(1)
+			e.noteHit(c)
 			return &Future{c: c}
 		}
 		c := &runCall{done: make(chan struct{})}
@@ -134,6 +244,9 @@ func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) 
 		return &Future{c: c}
 	}
 	c := &runCall{done: make(chan struct{})}
+	e.mu.Lock()
+	e.uncached = append(e.uncached, c)
+	e.mu.Unlock()
 	e.startSpec(cfg, bench, insts, warmup, c)
 	return &Future{c: c}
 }
@@ -151,8 +264,18 @@ func (e *Engine) start(cfg core.Config, c *runCall) {
 		defer func() { <-e.sem }()
 		e.runs.Add(1)
 		c.res, c.err = core.Run(cfg, c.ws)
+		e.noteRunDone(c)
 		close(c.done)
 	}()
+}
+
+// noteRunDone feeds an executed run's completion into the live progress
+// counters.
+func (e *Engine) noteRunDone(c *runCall) {
+	if c.err == nil && c.res != nil && c.res.Metrics != nil {
+		e.segs.Add(int64(c.res.Metrics.Segments))
+	}
+	e.done.Add(1)
 }
 
 func (e *Engine) startSpec(cfg core.Config, bench string, insts, warmup int64, c *runCall) {
@@ -162,6 +285,7 @@ func (e *Engine) startSpec(cfg core.Config, bench string, insts, warmup int64, c
 		prog, err := specProg(bench)
 		if err != nil {
 			c.err = err
+			e.done.Add(1)
 			close(c.done)
 			return
 		}
@@ -170,6 +294,7 @@ func (e *Engine) startSpec(cfg core.Config, bench string, insts, warmup int64, c
 		}}
 		e.runs.Add(1)
 		c.res, c.err = core.Run(cfg, c.ws)
+		e.noteRunDone(c)
 		close(c.done)
 	}()
 }
@@ -212,5 +337,31 @@ func SetCheckWorkers(n int) { checkWorkers.Store(int64(n)) }
 func applyCheckWorkers(cfg *core.Config) {
 	if cfg.CheckWorkers == 0 {
 		cfg.CheckWorkers = int(checkWorkers.Load())
+	}
+}
+
+// traceDest, when set, is installed on every submitted configuration
+// that carries no trace of its own (-trace on the CLI). Tracing never
+// influences simulated outcomes and is excluded from the cache
+// fingerprint, so installing it cannot split or poison the cache — but
+// note that a submission deduplicated against an already-executed run
+// emits no events, since only executed runs trace.
+var traceDest atomic.Pointer[obs.Trace]
+
+// SetTrace installs a shared segment-trace ring for all subsequent
+// submissions (nil disables).
+func SetTrace(t *obs.Trace) { traceDest.Store(t) }
+
+// MetricsSnapshot exports the shared engine's deterministic metrics
+// (`paraverser -metrics-out`).
+func MetricsSnapshot() *obs.Snapshot { return defaultEngine().MetricsSnapshot() }
+
+// Progress samples the shared engine's live counters for the CLI's
+// progress reporter.
+func Progress() obs.ProgressStats { return defaultEngine().ProgressStats() }
+
+func applyTrace(cfg *core.Config) {
+	if cfg.Trace == nil {
+		cfg.Trace = traceDest.Load()
 	}
 }

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"reflect"
 	"sync"
 	"testing"
 
 	"paraverser/internal/core"
+	"paraverser/internal/cpu"
 	"paraverser/internal/fault"
+	"paraverser/internal/obs"
 )
 
 // faultProbe is a fixed fault for cacheability tests.
@@ -29,13 +32,16 @@ func tinyScale() Scale {
 }
 
 // TestWorkerCountDeterminism asserts the engine's core guarantee: the
-// rendered tables are byte-identical no matter how many workers race over
-// the run matrix.
+// rendered tables AND the exported metrics snapshot are byte-identical
+// no matter how many workers race over the run matrix or how many
+// checker verifications each run overlaps (-j and -check-workers).
 func TestWorkerCountDeterminism(t *testing.T) {
+	defer SetCheckWorkers(0)
 	sc := tinyScale()
-	type tables struct{ fig6, fig7slow, fig7cov string }
+	type tables struct{ fig6, fig7slow, fig7cov, metrics string }
 	var want tables
 	for i, workers := range []int{1, 2, 8} {
+		SetCheckWorkers(workers) // 1 = inline checks, then overlapped
 		e := NewEngine(workers)
 		r6, err := fig6(e, sc)
 		if err != nil {
@@ -45,7 +51,11 @@ func TestWorkerCountDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("fig7 at %d workers: %v", workers, err)
 		}
-		got := tables{r6.Table(), slow.Table(), cov.Table()}
+		var buf bytes.Buffer
+		if err := e.MetricsSnapshot().WriteJSON(&buf); err != nil {
+			t.Fatalf("metrics snapshot at %d workers: %v", workers, err)
+		}
+		got := tables{r6.Table(), slow.Table(), cov.Table(), buf.String()}
 		if i == 0 {
 			want = got
 			continue
@@ -58,6 +68,10 @@ func TestWorkerCountDeterminism(t *testing.T) {
 		}
 		if got.fig7cov != want.fig7cov {
 			t.Errorf("fig7 coverage table differs between 1 and %d workers", workers)
+		}
+		if got.metrics != want.metrics {
+			t.Errorf("exported metrics differ between 1 and %d workers:\n%s\n--- vs ---\n%s",
+				workers, got.metrics, want.metrics)
 		}
 	}
 }
@@ -135,13 +149,45 @@ func TestFaultRunsNotCached(t *testing.T) {
 	}
 }
 
-// TestFingerprintCoversConfig pins the fingerprint to core.Config's
-// shape: adding a field without teaching writeConfig about it would
-// silently alias distinct configurations in the cache.
+// TestFingerprintCoversConfig pins the fingerprint to the shapes of
+// core.Config and cpu.Config: a new field on either must be explicitly
+// classified (hashed or excluded with a reason) before the tests pass
+// again. Without this, adding a field that changes simulated outcomes
+// would silently alias distinct configurations onto stale cache
+// entries.
 func TestFingerprintCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(core.Config{}).NumField(); n != fingerprintedConfigFields {
-		t.Errorf("core.Config has %d fields but writeConfig fingerprints %d; "+
-			"update writeConfig and the constant together", n, fingerprintedConfigFields)
+	check := func(typ reflect.Type, policy map[string]bool) {
+		t.Helper()
+		seen := make(map[string]bool, typ.NumField())
+		for i := 0; i < typ.NumField(); i++ {
+			name := typ.Field(i).Name
+			seen[name] = true
+			if _, ok := policy[name]; !ok {
+				t.Errorf("%s.%s is not classified in the fingerprint policy: "+
+					"add it to the table (and to writeConfig if it can change simulated outcomes)",
+					typ.Name(), name)
+			}
+		}
+		for name := range policy {
+			if !seen[name] {
+				t.Errorf("fingerprint policy lists %s.%s, which no longer exists", typ.Name(), name)
+			}
+		}
+	}
+	check(reflect.TypeOf(core.Config{}), fingerprintedConfigFields)
+	check(reflect.TypeOf(cpu.Config{}), fingerprintedCPUFields)
+}
+
+// TestFingerprintExcludesObservability asserts the deliberately excluded
+// fields really do not split the cache: configs differing only in
+// CheckWorkers or Trace must share one fingerprint.
+func TestFingerprintExcludesObservability(t *testing.T) {
+	a := core.DefaultConfig(a510Spec(4, 2.0))
+	b := a
+	b.CheckWorkers = 7
+	b.Trace = obs.NewTrace(16)
+	if fingerprint(&a) != fingerprint(&b) {
+		t.Error("CheckWorkers/Trace changed the fingerprint; they must not split the cache")
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -28,9 +29,9 @@ func TestSeriesGeomean(t *testing.T) {
 	if got, want := r.Geomean("cfg2"), 9.88; got < want-0.1 || got > want+0.1 {
 		t.Errorf("cfg2 geomean %.2f, want ~%.2f (b skipped)", got, want)
 	}
-	// Unknown config: no values at all.
-	if got := r.Geomean("nope"); got != 0 {
-		t.Errorf("unknown config geomean %.2f, want 0", got)
+	// Unknown config: no values at all — fail loud, not a fake 0.
+	if got := r.Geomean("nope"); !math.IsNaN(got) {
+		t.Errorf("unknown config geomean %.2f, want NaN", got)
 	}
 }
 
@@ -71,7 +72,37 @@ func TestSeriesTableEmptyConfigs(t *testing.T) {
 	if !strings.Contains(table, "empty") || !strings.Contains(table, "GEOMEAN") {
 		t.Errorf("empty-config table malformed:\n%s", table)
 	}
-	if got := r.Geomean("any"); got != 0 {
-		t.Errorf("empty geomean %.2f, want 0", got)
+	if got := r.Geomean("any"); !math.IsNaN(got) {
+		t.Errorf("empty geomean %.2f, want NaN", got)
+	}
+}
+
+// TestSeriesEmptyFailsLoud pins the regression: a config listed in the
+// display order whose series assembled no values must render NaN in
+// the GEOMEAN row and return NaN ranges — never a silent 0 that reads
+// as a perfect result (the empty-geomean failure mode fixed in PR 2).
+func TestSeriesEmptyFailsLoud(t *testing.T) {
+	r := &SeriesResult{
+		Title:      "broken-assembly",
+		Metric:     "slowdown %",
+		Benchmarks: []string{"a", "b"},
+		Order:      []string{"ok", "hollow"},
+		Values: map[string]map[string]float64{
+			"ok":     {"a": 10, "b": 20},
+			"hollow": {}, // assembled nothing
+		},
+	}
+	if got := r.Geomean("hollow"); !math.IsNaN(got) {
+		t.Errorf("hollow geomean %.2f, want NaN", got)
+	}
+	if lo, hi := r.Range("hollow"); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("hollow range [%.2f, %.2f], want NaNs", lo, hi)
+	}
+	// The populated config is unaffected.
+	if got := r.Geomean("ok"); math.IsNaN(got) {
+		t.Error("populated config geomean became NaN")
+	}
+	if !strings.Contains(r.Table(), "NaN") {
+		t.Errorf("table hides the empty series:\n%s", r.Table())
 	}
 }

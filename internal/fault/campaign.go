@@ -18,6 +18,7 @@ import (
 	"paraverser/internal/core"
 	"paraverser/internal/emu"
 	"paraverser/internal/isa"
+	"paraverser/internal/obs"
 	"paraverser/internal/stats"
 )
 
@@ -118,6 +119,8 @@ type TrialResult struct {
 	Quarantined bool
 	Retired     bool
 	DegradedNS  float64
+	// Metrics is the trial run's observability shard (core.Result.Metrics).
+	Metrics *obs.RunMetrics
 }
 
 // CampaignResult aggregates a finished campaign. Trials are ordered by
@@ -298,6 +301,7 @@ func runTrial(cfg *CampaignConfig, t Trial) (TrialResult, error) {
 	}
 	out.Fires, out.Activations = inj.Fires, inj.Activations
 	out.Outcome = ClassifySDC(inj, out.Detections > 0)
+	out.Metrics = res.Metrics
 	return out, nil
 }
 
@@ -320,6 +324,18 @@ func (r *CampaignResult) Outcomes() map[Outcome]int {
 		out[r.Trials[i].Outcome]++
 	}
 	return out
+}
+
+// RunMetrics merges every trial's observability shard in trial order.
+// Trial seeds and results are scheduling-independent and shard merging
+// is commutative integer addition, so the aggregate is byte-identical
+// at any Workers setting.
+func (r *CampaignResult) RunMetrics() *obs.RunMetrics {
+	m := obs.NewRunMetrics()
+	for i := range r.Trials {
+		m.Merge(r.Trials[i].Metrics)
+	}
+	return m
 }
 
 // Recovery sums recovery-pipeline stats over trials.

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"paraverser/internal/core"
 	"paraverser/internal/cpu"
 	"paraverser/internal/isa"
+	"paraverser/internal/obs"
 )
 
 // campaignProgram is a small FP/integer/memory mix that exercises the
@@ -70,13 +72,22 @@ func TestCampaignValidation(t *testing.T) {
 
 // TestCampaignDeterministicAcrossWorkers is the end-to-end seed
 // contract: the same base seed must reproduce byte-identical verdict
-// tables no matter how the trials are scheduled.
+// tables and merged run metrics no matter how the trials are
+// scheduled — serial vs one worker per CPU, with a shared trace ring
+// attached on the parallel side to prove observability never perturbs
+// outcomes. Run under -race this doubles as the data-race check on the
+// metric shards.
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	serial, err := RunCampaign(campaignConfig(8, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunCampaign(campaignConfig(8, 4))
+	par := campaignConfig(8, runtime.NumCPU())
+	ring := obs.NewTrace(1 << 12)
+	for i := range par.Configs {
+		par.Configs[i].Trace = ring
+	}
+	parallel, err := RunCampaign(par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,6 +97,12 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if serial.Table() != parallel.Table() {
 		t.Error("summary tables diverge across worker counts")
+	}
+	if sm, pm := serial.RunMetrics().String(), parallel.RunMetrics().String(); sm != pm {
+		t.Errorf("campaign metrics diverge across worker counts:\n%s\nvs\n%s", sm, pm)
+	}
+	if segs, _ := ring.Count(obs.CatSegment); segs == 0 {
+		t.Error("traced campaign emitted no segment events")
 	}
 
 	// A different seed must actually change the draw.

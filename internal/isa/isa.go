@@ -163,6 +163,31 @@ const (
 // indexed directly by Class.
 const NumClasses = int(numClasses)
 
+var classNames = [NumClasses]string{
+	ClassInvalid:   "invalid",
+	ClassIntALU:    "int-alu",
+	ClassIntMul:    "int-mul",
+	ClassIntDiv:    "int-div",
+	ClassFPAdd:     "fp-add",
+	ClassFPMul:     "fp-mul",
+	ClassFPDiv:     "fp-div",
+	ClassLoad:      "load",
+	ClassStore:     "store",
+	ClassAtomic:    "atomic",
+	ClassBranch:    "branch",
+	ClassJump:      "jump",
+	ClassNonRepeat: "non-repeat",
+	ClassNop:       "nop",
+}
+
+// String names the class for statistics labels and diagnostics.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
 // Inst is a decoded instruction. Programs hold instructions in decoded
 // form; Encode/Decode provide the 8-byte binary form used for instruction
 // footprint accounting and on-disk representation.

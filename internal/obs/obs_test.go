@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"paraverser/internal/isa"
+)
+
+func TestHistObserve(t *testing.T) {
+	h := NewHist(10, 100, 1000)
+	for _, v := range []uint64{0, 10, 11, 100, 500, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // le=10: {0,10}; le=100: {11,100}; le=1000: {500,1000}; +Inf: {1001,5000}
+	if !reflect.DeepEqual(h.Counts, want) {
+		t.Errorf("counts = %v, want %v", h.Counts, want)
+	}
+	if h.N != 8 {
+		t.Errorf("N = %d, want 8", h.N)
+	}
+	if h.Sum != 0+10+11+100+500+1000+1001+5000 {
+		t.Errorf("Sum = %d", h.Sum)
+	}
+}
+
+func TestHistMergeCommutative(t *testing.T) {
+	a := NewHist(10, 100)
+	b := NewHist(10, 100)
+	for _, v := range []uint64{5, 50, 500} {
+		a.Observe(v)
+	}
+	for _, v := range []uint64{7, 70, 700, 7000} {
+		b.Observe(v)
+	}
+	ab := NewHist(10, 100)
+	ab.Merge(&a)
+	ab.Merge(&b)
+	ba := NewHist(10, 100)
+	ba.Merge(&b)
+	ba.Merge(&a)
+	if ab.String() != ba.String() {
+		t.Errorf("merge not commutative: %s vs %s", ab.String(), ba.String())
+	}
+	if ab.N != 7 {
+		t.Errorf("merged N = %d, want 7", ab.N)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(1, 2, 4, 8)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	h.Observe(8)
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := h.Quantile(1.0); q != 8 {
+		t.Errorf("p100 = %d, want 8", q)
+	}
+	// Samples in the +Inf bucket clamp to the last finite bound.
+	h.Observe(99)
+	if q := h.Quantile(1.0); q != 8 {
+		t.Errorf("p100 with +Inf sample = %d, want 8", q)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamp broken")
+	}
+}
+
+func TestSnapshotDeterministicAndRoundTrip(t *testing.T) {
+	build := func(order []int) *Snapshot {
+		h := NewHist(10, 100)
+		h.Observe(5)
+		h.Observe(5000)
+		var b SnapshotBuilder
+		adds := []func(){
+			func() { b.Counter("z_total", "z", 3) },
+			func() { b.Counter("a_total", "a", 1) },
+			func() { b.Gauge("util", "u", 0.5) },
+			func() { b.Hist("lat", "l", &h) },
+			func() { b.LabeledCounter("fu_total", `class="load"`, "f", 7) },
+			func() { b.LabeledCounter("fu_total", `class="int-alu"`, "f", 9) },
+		}
+		for _, i := range order {
+			adds[i]()
+		}
+		return b.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build([]int{0, 1, 2, 3, 4, 5}).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{5, 3, 1, 4, 2, 0}).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("snapshot JSON depends on insertion order:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+
+	s, err := ReadSnapshotJSON(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CounterValue("a_total"); got != 1 {
+		t.Errorf("a_total = %d, want 1", got)
+	}
+	m, ok := s.Get("lat")
+	if !ok || m.Count != 2 || m.Sum != 5005 {
+		t.Errorf("lat histogram = %+v, ok=%v", m, ok)
+	}
+	if len(m.Buckets) != 2 || m.Buckets[0].N != 1 {
+		t.Errorf("lat buckets = %+v", m.Buckets)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	var b SnapshotBuilder
+	b.Counter("x_total", "x", 42)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := b.Snapshot().WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CounterValue("x_total") != 42 {
+		t.Errorf("x_total = %d, want 42", s.CounterValue("x_total"))
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	h := NewHist(10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	var b SnapshotBuilder
+	b.Counter("seg_total", "segments", 12)
+	b.Gauge("util", "occupancy", 0.25)
+	b.Hist("lat", "latency", &h)
+	b.LabeledCounter("fu_total", `class="load"`, "fu", 7)
+	var out bytes.Buffer
+	if err := b.Snapshot().WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# HELP seg_total segments",
+		"# TYPE seg_total counter",
+		"seg_total 12",
+		"util 0.25",
+		"# TYPE lat histogram",
+		`lat_bucket{le="10"} 1`,
+		`lat_bucket{le="100"} 2`, // cumulative
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_sum 5055",
+		"lat_count 3",
+		`fu_total{class="load"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	h := NewHist(10, 100)
+	h.Observe(5)
+	var b SnapshotBuilder
+	b.Counter("seg_total", "segments", 12)
+	b.Hist("lat", "latency", &h)
+	b.Gauge("util", "occupancy", 0.25)
+	sum := b.Snapshot().Summary()
+	for _, want := range []string{"seg_total", "12", "lat", "n=1", "util", "0.2500"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestRunMetricsMergeCommutative(t *testing.T) {
+	mk := func(seed uint64) *RunMetrics {
+		m := NewRunMetrics()
+		m.Segments = seed
+		m.SegmentsChecked = seed * 2
+		m.Insts = seed * 100
+		m.StallNS = seed * 7
+		m.Quarantines = seed % 3
+		m.CheckQueueDepth.Observe(seed % 5)
+		m.CheckLatencyNS.Observe(seed * 1000)
+		m.FUIssueMain[isa.ClassIntALU] = seed * 10
+		m.FUIssueChecker[isa.ClassLoad] = seed * 4
+		return m
+	}
+	ab := NewRunMetrics()
+	ab.Merge(mk(3))
+	ab.Merge(mk(11))
+	ba := NewRunMetrics()
+	ba.Merge(mk(11))
+	ba.Merge(mk(3))
+	if ab.String() != ba.String() {
+		t.Errorf("RunMetrics merge not commutative:\n%s\nvs\n%s", ab, ba)
+	}
+	if ab.Segments != 14 || ab.FUIssueMain[isa.ClassIntALU] != 140 {
+		t.Errorf("merged values wrong: %s", ab)
+	}
+	ab.Merge(nil) // must not panic
+}
+
+func TestRunMetricsAddTo(t *testing.T) {
+	m := NewRunMetrics()
+	m.Segments = 10
+	m.SegmentsChecked = 8
+	m.CheckBusyNS = 50
+	m.CheckWindowNS = 100
+	m.FUIssueMain[isa.ClassLoad] = 33
+	m.CheckLatencyNS.Observe(1500)
+	var b SnapshotBuilder
+	m.AddTo(&b, "pv_")
+	s := b.Snapshot()
+	if got := s.CounterValue("pv_segments_total"); got != 10 {
+		t.Errorf("segments_total = %d, want 10", got)
+	}
+	u, ok := s.Get("pv_checker_utilization")
+	if !ok || math.Abs(u.Gauge-0.5) > 1e-12 {
+		t.Errorf("utilization = %+v, ok=%v", u, ok)
+	}
+	found := false
+	for _, mm := range s.Metrics {
+		if mm.Name == "pv_fu_issue_total" && strings.Contains(mm.Labels, `class="load"`) &&
+			strings.Contains(mm.Labels, `core="main"`) {
+			found = true
+			if mm.Value != 33 {
+				t.Errorf("fu_issue load = %d, want 33", mm.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("fu_issue_total{class=load,core=main} missing")
+	}
+	if h, ok := s.Get("pv_check_latency_ns"); !ok || h.Count != 1 || h.Sum != 1500 {
+		t.Errorf("check_latency_ns = %+v, ok=%v", h, ok)
+	}
+}
+
+func TestTraceRingAndRoundTrip(t *testing.T) {
+	tr := NewTrace(3)
+	pid := tr.NextPID()
+	tr.Emit(CatSegment, "seg 0", pid, 0, 0, 1000, map[string]string{"insts": "100"})
+	tr.Emit(CatCheck, "check 0", pid, 100, 500, 800, nil)
+	tr.Emit(CatSegment, "seg 1", pid, 1, 1000, 1000, nil)
+	tr.Emit(CatSegment, "seg 2", pid, 0, 2000, 1000, nil) // dropped
+	tr.Emit(CatCheck, "check 1", pid, 101, 2500, 700, nil)
+
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	stored, dropped := tr.Count(CatSegment)
+	if stored != 2 || dropped != 1 {
+		t.Errorf("segment stored=%d dropped=%d, want 2/1", stored, dropped)
+	}
+	if stored+dropped != 3 {
+		t.Error("segment stored+dropped must equal total emitted segments")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, drops, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Errorf("round-trip events = %d, want 3", len(evs))
+	}
+	if drops[CatSegment] != 1 || drops[CatCheck] != 1 {
+		t.Errorf("round-trip dropped = %v", drops)
+	}
+	// Sorted by (pid, tid, ts): lane 0 seg before lane 1 seg before tid-100 check.
+	if evs[0].Name != "seg 0" || evs[0].Args["insts"] != "100" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[0].TS != 0 || evs[0].Dur != 1 { // 1000 ns = 1 µs
+		t.Errorf("µs conversion wrong: ts=%v dur=%v", evs[0].TS, evs[0].Dur)
+	}
+}
+
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Emit(CatSegment, "seg", tr.NextPID(), 0, 0, 10, nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	evs, _, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Ph != "X" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestProgressFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	stats := ProgressStats{JobsTotal: 10, JobsDone: 10, Runs: 4, Hits: 6, Segments: 200}
+	p := NewProgress(&buf, time.Hour, func() ProgressStats { return stats })
+	p.Start()
+	p.Stop()
+	p.Stop() // idempotent
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final render must end with newline: %q", out)
+	}
+	for _, want := range []string{"runs 10/10", "4 executed", "cache 60%", "eta done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress line missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	var buf bytes.Buffer
+	stats := ProgressStats{JobsTotal: 10, JobsDone: 5, Runs: 5, Segments: 100}
+	p := NewProgress(&buf, time.Hour, func() ProgressStats { return stats })
+	base := time.Unix(1000, 0)
+	ticks := 0
+	p.now = func() time.Time { ticks++; return base.Add(time.Duration(ticks) * 10 * time.Second) }
+	p.Start()
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "eta ") || strings.Contains(out, "eta --") {
+		t.Errorf("expected a concrete ETA in %q", out)
+	}
+}

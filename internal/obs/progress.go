@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressStats is a point-in-time sample of a running experiment
+// batch, polled by the Progress reporter. These are live values:
+// unlike RunMetrics they may legitimately depend on scheduling (e.g.
+// the cache-hit/in-flight-share split), which is why they feed the
+// status line and never the deterministic export.
+type ProgressStats struct {
+	JobsTotal int64 // submissions issued so far
+	JobsDone  int64 // submissions resolved (run, cached or shared)
+	Runs      int64 // simulations actually executed
+	Hits      int64 // submissions served from the completed-run cache
+	Shares    int64 // submissions that joined an in-flight run
+	Segments  int64 // segments closed across all executed runs
+}
+
+// Progress periodically renders a one-line status (segments/s, cache
+// hit rate, ETA) to a writer, typically stderr. The poll function and
+// writer are injected so tests drive it deterministically; Stop always
+// renders one final line so output is non-empty however short the run.
+type Progress struct {
+	w        io.Writer
+	poll     func() ProgressStats
+	interval time.Duration
+	start    time.Time
+
+	mu       sync.Mutex
+	lastLen  int
+	stopped  bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	now      func() time.Time // injectable clock for tests
+	lastSegs int64
+	lastAt   time.Time
+}
+
+// NewProgress builds a reporter polling stats every interval. Call
+// Start to begin rendering and Stop to finish.
+func NewProgress(w io.Writer, interval time.Duration, poll func() ProgressStats) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Progress{
+		w:        w,
+		poll:     poll,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		now:      time.Now,
+	}
+}
+
+// Start launches the render loop.
+func (p *Progress) Start() {
+	p.start = p.now()
+	p.lastAt = p.start
+	go func() {
+		defer close(p.doneCh)
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stopCh:
+				return
+			case <-tick.C:
+				p.render(false)
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and renders a final newline-terminated line.
+// Safe to call more than once.
+func (p *Progress) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stopCh)
+	<-p.doneCh
+	p.render(true)
+}
+
+// render draws one status line, overwriting the previous one with \r
+// padding; the final render ends with \n instead.
+func (p *Progress) render(final bool) {
+	s := p.poll()
+	now := p.now()
+	elapsed := now.Sub(p.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Segment rate over the window since the previous render, so the
+	// figure tracks current throughput rather than the lifetime mean.
+	window := now.Sub(p.lastAt).Seconds()
+	segRate := float64(s.Segments) / elapsed
+	if !final && window > 0.1 {
+		segRate = float64(s.Segments-p.lastSegs) / window
+	}
+	p.lastSegs = s.Segments
+	p.lastAt = now
+
+	var hitRate float64
+	if s.JobsDone > 0 {
+		hitRate = float64(s.Hits+s.Shares) / float64(s.JobsDone)
+	}
+
+	eta := "--"
+	if s.JobsDone > 0 && s.JobsTotal > s.JobsDone {
+		per := elapsed / float64(s.JobsDone)
+		eta = fmtDuration(time.Duration(per * float64(s.JobsTotal-s.JobsDone) * float64(time.Second)))
+	} else if s.JobsTotal > 0 && s.JobsTotal == s.JobsDone {
+		eta = "done"
+	}
+
+	line := fmt.Sprintf("runs %d/%d · %d executed · cache %.0f%% · %.0f seg/s · eta %s",
+		s.JobsDone, s.JobsTotal, s.Runs, hitRate*100, segRate, eta)
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	p.lastLen = len(line)
+	if final {
+		fmt.Fprintf(p.w, "\r%s%s\n", line, pad)
+	} else {
+		fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	}
+}
+
+// fmtDuration renders a coarse human duration for the ETA field.
+func fmtDuration(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()+0.5))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace is a bounded segment-trace ring shared by every lane and
+// checker of a run (or of many runs, when installed on the experiment
+// engine). Events past the capacity are counted, not stored, so the
+// ring never grows and the exporter can report exactly how much was
+// dropped per category — which lets CI cross-check
+// "segment events + dropped(segment) == segments_total" even when the
+// ring wraps.
+//
+// Emit takes a mutex rather than sharding: tracing is opt-in (-trace)
+// and fires once per segment, not per instruction, so contention is
+// negligible next to the simulation work between events.
+type Trace struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	cap     int
+	dropped map[string]uint64
+	pids    atomic.Uint64
+}
+
+// TraceEvent is one Chrome trace_event "complete" (ph=X) entry.
+// Timestamps and durations are microseconds of simulated time.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  uint64            `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Trace event categories.
+const (
+	CatSegment = "segment" // a main-core checkpoint interval
+	CatCheck   = "check"   // a checker verification of one segment
+)
+
+// NewTrace returns a ring holding at most capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{
+		events:  make([]TraceEvent, 0, min(capacity, 1<<16)),
+		cap:     capacity,
+		dropped: make(map[string]uint64),
+	}
+}
+
+// NextPID reserves a process id for one simulation run, so concurrent
+// runs sharing the ring render as separate process rows.
+func (t *Trace) NextPID() uint64 {
+	return t.pids.Add(1)
+}
+
+// Emit records a complete event. cat is one of the Cat* constants,
+// startNS/durNS are simulated nanoseconds; args may be nil.
+func (t *Trace) Emit(cat, name string, pid, tid uint64, startNS, durNS float64, args map[string]string) {
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped[cat]++
+		t.mu.Unlock()
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: startNS / 1e3, Dur: durNS / 1e3,
+		PID: pid, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of stored events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Count returns stored and dropped event counts for one category.
+func (t *Trace) Count(cat string) (stored, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.events {
+		if t.events[i].Cat == cat {
+			stored++
+		}
+	}
+	return stored, t.dropped[cat]
+}
+
+// traceFile is the on-disk Chrome trace format (JSON Object Format).
+// Dropped counts ride in otherData so readers can detect truncation.
+type traceFile struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteJSON dumps the ring as Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto. Events are sorted by (pid, tid, ts)
+// so output is deterministic for a deterministic event set.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	evs := make([]TraceEvent, len(t.events))
+	copy(evs, t.events)
+	other := map[string]string{}
+	for cat, n := range t.dropped {
+		other["dropped_"+cat] = fmt.Sprint(n)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.TS < b.TS
+	})
+	if len(other) == 0 {
+		other = nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: evs, OtherData: other})
+}
+
+// WriteFile writes the trace to path via WriteJSON.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceJSON parses a Chrome trace file written by WriteJSON and
+// returns the events plus per-category dropped counts.
+func ReadTraceJSON(r io.Reader) ([]TraceEvent, map[string]uint64, error) {
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, nil, fmt.Errorf("parse trace: %w", err)
+	}
+	dropped := make(map[string]uint64)
+	for k, v := range tf.OtherData {
+		if len(k) > len("dropped_") && k[:len("dropped_")] == "dropped_" {
+			var n uint64
+			if _, err := fmt.Sscan(v, &n); err == nil {
+				dropped[k[len("dropped_"):]] = n
+			}
+		}
+	}
+	return tf.TraceEvents, dropped, nil
+}
+
+// ReadTraceFile parses the trace file at path.
+func ReadTraceFile(path string) ([]TraceEvent, map[string]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadTraceJSON(f)
+}

@@ -55,10 +55,19 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// Percentile returns the p-th percentile by nearest-rank: the smallest
+// element with at least ceil(p/100*n) elements at or below it. The
+// input need not be sorted and is never mutated; p is clamped to
+// [0, 100], with NaN treated as 0 (converting NaN to int is
+// platform-defined, so it must not reach the rank arithmetic).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -54,21 +54,37 @@ func TestMeanMinMax(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
-	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := Percentile(xs, 50); got != 5 {
-		t.Errorf("p50 = %v", got)
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p50 sorted", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50, 5},
+		{"p100 sorted", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 100, 10},
+		{"p0 sorted", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0, 1},
+		{"unsorted p50", []float64{9, 1, 7, 3, 5}, 50, 5},
+		{"unsorted p100", []float64{9, 1, 7, 3, 5}, 100, 9},
+		{"unsorted p0", []float64{9, 1, 7, 3, 5}, 0, 1},
+		{"single element p0", []float64{42}, 0, 42},
+		{"single element p50", []float64{42}, 50, 42},
+		{"single element p100", []float64{42}, 100, 42},
+		{"duplicates p50", []float64{2, 2, 2, 7, 7}, 50, 2},
+		{"duplicates p95", []float64{2, 2, 2, 7, 7}, 95, 7},
+		{"p below range clamps", []float64{1, 2, 3}, -10, 1},
+		{"p above range clamps", []float64{1, 2, 3}, 250, 3},
+		{"NaN p treated as 0", []float64{1, 2, 3}, math.NaN(), 1},
+		{"empty", nil, 50, 0},
 	}
-	if got := Percentile(xs, 100); got != 10 {
-		t.Errorf("p100 = %v", got)
-	}
-	if got := Percentile(xs, 0); got != 1 {
-		t.Errorf("p0 = %v", got)
-	}
-	if Percentile(nil, 50) != 0 {
-		t.Error("empty percentile != 0")
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
 	}
 	// Must not mutate the input.
-	if xs[0] != 1 || xs[9] != 10 {
+	xs := []float64{9, 1, 7, 3, 5}
+	Percentile(xs, 50)
+	if xs[0] != 9 || xs[1] != 1 || xs[4] != 5 {
 		t.Error("percentile sorted the caller's slice")
 	}
 }
