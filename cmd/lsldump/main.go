@@ -24,6 +24,7 @@ import (
 	"paraverser/internal/core"
 	"paraverser/internal/emu"
 	"paraverser/internal/isa"
+	"paraverser/internal/isa/verify"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func run(args []string) int {
 	disasm := fs.Int("disasm", 0, "disassemble the N hottest instructions")
 	timeout := fs.Uint64("timeout", 5000, "checkpoint instruction timeout")
 	capacity := fs.Int("capacity", 512, "LSL$ capacity in lines")
+	doVerify := fs.Bool("verify", false, "statically verify the workload program and exit")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: lsldump [flags] <workload>")
 		fs.PrintDefaults()
@@ -49,10 +51,54 @@ func run(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	// Malformed flag values are usage errors, not truncated runs.
+	switch {
+	case *insts <= 0:
+		fmt.Fprintf(os.Stderr, "lsldump: -insts must be positive, got %d\n", *insts)
+		return 2
+	case *segs < 0:
+		fmt.Fprintf(os.Stderr, "lsldump: -segs must be non-negative, got %d\n", *segs)
+		return 2
+	case *disasm < 0:
+		fmt.Fprintf(os.Stderr, "lsldump: -disasm must be non-negative, got %d\n", *disasm)
+		return 2
+	case *timeout == 0:
+		fmt.Fprintln(os.Stderr, "lsldump: -timeout must be positive")
+		return 2
+	case *capacity <= 0:
+		fmt.Fprintf(os.Stderr, "lsldump: -capacity must be positive, got %d\n", *capacity)
+		return 2
+	}
+	if *doVerify {
+		return runVerify(fs.Arg(0), *insts)
+	}
 	if err := dump(fs.Arg(0), *insts, *segs, *hash, *disasm, *timeout, *capacity); err != nil {
 		fmt.Fprintf(os.Stderr, "lsldump: %v\n", err)
 		return 1
 	}
+	return 0
+}
+
+// runVerify resolves the workload and runs the static program verifier,
+// printing every finding. Exit status 1 when any error-severity finding
+// exists.
+func runVerify(name string, insts int64) int {
+	w, err := resolve(name, insts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsldump: %v\n", err)
+		return 1
+	}
+	rep := verify.Verify(w.Prog)
+	fmt.Printf("verify %s: %d insts, %d entry point(s), %d non-repeatable instruction(s)\n",
+		w.Prog.Name, len(w.Prog.Insts), len(w.Prog.Entries), len(rep.NonRepeat))
+	for _, f := range rep.Findings {
+		fmt.Printf("  %s\n", f)
+	}
+	if len(rep.Errors()) > 0 {
+		fmt.Fprintf(os.Stderr, "lsldump: verify %s: %d violation(s)\n", w.Prog.Name, len(rep.Errors()))
+		return 1
+	}
+	fmt.Printf("verify %s: clean\n", w.Prog.Name)
 	return 0
 }
 

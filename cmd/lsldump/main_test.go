@@ -40,3 +40,36 @@ func TestRunArgHandling(t *testing.T) {
 		t.Errorf("good run: exit %d", code)
 	}
 }
+
+// TestRunRejectsMalformedFlags pins the usage-error contract: flag
+// values that would silently truncate or wedge a run exit 2 before any
+// simulation starts.
+func TestRunRejectsMalformedFlags(t *testing.T) {
+	cases := [][]string{
+		{"-insts", "0", "mcf"},
+		{"-insts", "-5", "mcf"},
+		{"-segs", "-1", "mcf"},
+		{"-disasm", "-2", "mcf"},
+		{"-timeout", "0", "mcf"},
+		{"-capacity", "0", "mcf"},
+		{"-bogus-flag", "mcf"},
+		{"mcf", "extra-arg"},
+	}
+	for _, args := range cases {
+		if code := run(args); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunVerifyFlag(t *testing.T) {
+	if code := run([]string{"-verify", "exchange2"}); code != 0 {
+		t.Errorf("verify exchange2: exit %d, want 0", code)
+	}
+	if code := run([]string{"-verify", "gap.bfs"}); code != 0 {
+		t.Errorf("verify gap.bfs: exit %d, want 0", code)
+	}
+	if code := run([]string{"-verify", "no-such-workload"}); code != 1 {
+		t.Errorf("verify bad workload: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,89 @@
+// Command paralint runs the repository's invariant analyzer suite
+// (determinism, hotpathalloc, fingerprint, shardsafety) over the
+// packages matching the given go list patterns and exits non-zero when
+// any finding survives its //paralint:allow review.
+//
+// Usage:
+//
+//	go run ./cmd/paralint ./...
+//	go run ./cmd/paralint -list
+//	go run ./cmd/paralint -only determinism,shardsafety ./internal/core
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paraverser/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("paralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("C", "", "resolve patterns relative to this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "paralint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "paralint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, selected)
+		if err != nil {
+			fmt.Fprintf(stderr, "paralint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "paralint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

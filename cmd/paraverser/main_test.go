@@ -46,6 +46,48 @@ func TestMetricsCmdArgHandling(t *testing.T) {
 	}
 }
 
+// TestMetricsCmdRejectsMalformedInput pins the strict-reader contract:
+// a snapshot or trace that parses as JSON but is not a well-formed
+// export must exit non-zero instead of rendering a vacuous report.
+func TestMetricsCmdRejectsMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	goodSnap := `{"metrics":[{"name":"paraverser_segments_total","kind":"counter","value":0}]}`
+
+	if code := run([]string{"metrics", write("empty.json", `{}`)}); code != 1 {
+		t.Errorf("empty snapshot object: exit %d, want 1", code)
+	}
+	if code := run([]string{"metrics", write("nometrics.json", `{"metrics":[]}`)}); code != 1 {
+		t.Errorf("zero-metric snapshot: exit %d, want 1", code)
+	}
+	if code := run([]string{"metrics", write("trailing.json", goodSnap+"{}")}); code != 1 {
+		t.Errorf("snapshot with trailing data: exit %d, want 1", code)
+	}
+
+	snap := write("good.json", goodSnap)
+	if code := run([]string{"metrics", snap}); code != 0 {
+		t.Fatalf("minimal valid snapshot: exit %d, want 0", code)
+	}
+	goodTrace := `{"traceEvents":[]}`
+	if code := run([]string{"metrics", "-trace", write("t1.json", goodTrace+"[]"), snap}); code != 1 {
+		t.Errorf("trace with trailing data: exit %d, want 1", code)
+	}
+	badDrop := `{"traceEvents":[],"otherData":{"dropped_segment":"12abc"}}`
+	if code := run([]string{"metrics", "-trace", write("t2.json", badDrop), snap}); code != 1 {
+		t.Errorf("trace with malformed dropped count: exit %d, want 1", code)
+	}
+	if code := run([]string{"metrics", "-trace", write("t3.json", goodTrace), snap}); code != 0 {
+		t.Errorf("valid trace cross-check: exit %d, want 0", code)
+	}
+}
+
 func TestRunStaticExperiments(t *testing.T) {
 	if code := run([]string{"table1", "area"}); code != 0 {
 		t.Errorf("static experiments: exit %d", code)

@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces bit-determinism inside packages marked with the
+// //paralint:deterministic directive: simulation results must be a pure
+// function of configuration and seed, because the run cache memoizes by
+// fingerprint and replay checking compares runs bit for bit.
+//
+// Findings:
+//   - wall-clock reads (time.Now, time.Since, time.Until)
+//   - the global math/rand (and rand/v2) stream — seeded *rand.Rand
+//     instances created with rand.New(rand.NewSource(seed)) are fine
+//   - range over a map whose iteration order can leak into results.
+//     A map range is accepted only when every statement in its body is
+//     provably order-insensitive: writes indexed by the loop variables,
+//     commutative integer accumulation, deletes keyed by loop
+//     variables, appends into a slice that the enclosing function later
+//     sorts, and per-iteration locals. Anything else is reported;
+//     genuinely benign cases take a //paralint:allow(reason) comment.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global rand and order-leaking map iteration in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalRandFuncs are the math/rand and math/rand/v2 package-level
+// functions backed by the shared global stream. Constructors (New,
+// NewSource, NewPCG, NewChaCha8, NewZipf) are deliberately absent.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "NormFloat64": true, "ExpFloat64": true, "Read": true,
+	// rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !packageMarked(pass.Pkg, "deterministic") {
+		return nil
+	}
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkNondetRef(pass, info, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, info, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondetRef flags any mention of a forbidden package-level function
+// — called or stored as a value — so a deterministic package cannot
+// smuggle the wall clock out through a function variable either.
+func checkNondetRef(pass *Pass, info *types.Info, sel *ast.SelectorExpr) {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in deterministic package (inject a clock instead)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(), "global rand.%s in deterministic package (use a seeded *rand.Rand)", fn.Name())
+		}
+	}
+}
+
+// checkMapRange vets one `for ... range m` over a map for order
+// insensitivity.
+func checkMapRange(pass *Pass, info *types.Info, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	fn := enclosingFunc(file, rng.Pos())
+	v := &mapRangeVetter{pass: pass, info: info, fn: fn, loopVars: loopVars}
+	v.block(rng.Body)
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// body containing pos (for the append-then-sort rule).
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// mapRangeVetter walks a map-range body and reports order-sensitive
+// statements. locals accumulates objects declared inside the body —
+// writes to those are per-iteration and harmless.
+type mapRangeVetter struct {
+	pass     *Pass
+	info     *types.Info
+	fn       ast.Node
+	loopVars map[types.Object]bool
+	locals   map[types.Object]bool
+}
+
+func (v *mapRangeVetter) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		v.stmt(s)
+	}
+}
+
+func (v *mapRangeVetter) local(obj types.Object) {
+	if v.locals == nil {
+		v.locals = map[types.Object]bool{}
+	}
+	v.locals[obj] = true
+}
+
+func (v *mapRangeVetter) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		v.block(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			v.stmt(s.Init)
+		}
+		v.block(s.Body)
+		if s.Else != nil {
+			v.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		v.block(s.Body)
+	case *ast.RangeStmt:
+		// A nested range defines further per-iteration variables.
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := v.info.Defs[id]; obj != nil {
+					v.local(obj)
+				}
+			}
+		}
+		v.block(s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			for _, cs := range c.(*ast.CaseClause).Body {
+				v.stmt(cs)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						if obj := v.info.Defs[id]; obj != nil {
+							v.local(obj)
+						}
+					}
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		v.assign(s)
+	case *ast.IncDecStmt:
+		v.write(s.X, s.Pos(), true)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			v.call(call)
+			return
+		}
+		v.pass.Reportf(s.Pos(), "order-sensitive statement in map iteration")
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return
+		}
+		v.pass.Reportf(s.Pos(), "%s inside map iteration selects an arbitrary element", s.Tok)
+	case *ast.ReturnStmt:
+		v.pass.Reportf(s.Pos(), "return inside map iteration selects an arbitrary element")
+	default:
+		v.pass.Reportf(s.Pos(), "order-sensitive statement in map iteration")
+	}
+}
+
+func (v *mapRangeVetter) assign(s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := v.info.Defs[id]; obj != nil {
+					v.local(obj)
+				}
+			}
+		}
+		return
+	}
+	if s.Tok == token.ASSIGN && v.isSortedLaterAppend(s) {
+		return
+	}
+	commutative := false
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		commutative = true
+	}
+	for _, lhs := range s.Lhs {
+		v.write(lhs, s.Pos(), commutative)
+	}
+}
+
+// write vets one mutated lvalue. commutative marks += style updates,
+// which are order-insensitive only for integer operands.
+func (v *mapRangeVetter) write(lhs ast.Expr, pos token.Pos, commutative bool) {
+	lhs = ast.Unparen(lhs)
+	// Writes to per-iteration locals never leak order.
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		if obj := v.info.Uses[id]; obj != nil && (v.locals[obj] || v.loopVars[obj]) {
+			return
+		}
+		if commutative && v.isInteger(lhs) {
+			return
+		}
+		v.pass.Reportf(pos, "map-order-dependent write to %s", id.Name)
+		return
+	}
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		// m2[k] = v keyed by a loop variable touches distinct slots per
+		// iteration; same for dense tables indexed by the key.
+		if identUsesObj(v.info, ix.Index, v.loopVars) {
+			return
+		}
+		if v.rootIsLocal(ix.X) {
+			return
+		}
+		if commutative && v.isInteger(lhs) {
+			return
+		}
+		v.pass.Reportf(pos, "map-order-dependent indexed write")
+		return
+	}
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		if v.rootIsLocal(sel.X) {
+			return
+		}
+		if commutative && v.isInteger(lhs) {
+			return
+		}
+		v.pass.Reportf(pos, "map-order-dependent write to %s", sel.Sel.Name)
+		return
+	}
+	if commutative && v.isInteger(lhs) {
+		return
+	}
+	v.pass.Reportf(pos, "map-order-dependent write")
+}
+
+// isInteger reports whether the expression's static type is an integer
+// (bit-exact commutative accumulation; float addition is not
+// associative and would perturb low bits with iteration order).
+func (v *mapRangeVetter) isInteger(e ast.Expr) bool {
+	tv, ok := v.info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// rootIsLocal walks selector/index chains to the root identifier and
+// reports whether it is a per-iteration local or loop variable.
+func (v *mapRangeVetter) rootIsLocal(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := v.info.Uses[x]
+			return obj != nil && (v.locals[obj] || v.loopVars[obj])
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// call vets an expression-statement call inside a map range: deletes
+// keyed by loop variables and appends into later-sorted slices are the
+// only sanctioned side effects.
+func (v *mapRangeVetter) call(call *ast.CallExpr) {
+	// delete keyed by a loop variable removes distinct entries per
+	// iteration and is order-insensitive.
+	if isBuiltin(v.info, call.Fun, "delete") && len(call.Args) == 2 &&
+		identUsesObj(v.info, call.Args[1], v.loopVars) {
+		return
+	}
+	v.pass.Reportf(call.Pos(), "order-sensitive call in map iteration")
+}
+
+// isBuiltin reports whether fun names the given builtin function.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true // unresolved identifier spelled like the builtin
+	}
+	_, ok = obj.(*types.Builtin)
+	return ok
+}
+
+// isSortedLaterAppend recognises x = append(x, ...) where x is sorted
+// later in the enclosing function — the canonical
+// collect-keys-then-sort pattern.
+func (v *mapRangeVetter) isSortedLaterAppend(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltin(v.info, call.Fun, "append") {
+		return false
+	}
+	target, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := v.info.Uses[target]
+	if obj == nil {
+		obj = v.info.Defs[target]
+	}
+	if obj == nil || v.fn == nil {
+		return false
+	}
+	return sortedInFunc(v.info, v.fn, obj, s.End())
+}
+
+// sortFuncs are the sorting entry points the append-then-sort rule
+// recognises.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedInFunc reports whether obj is passed to a recognised sort call
+// after pos inside fn.
+func sortedInFunc(info *types.Info, fn ast.Node, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		f, ok := calleeObj(info, call).(*types.Func)
+		if !ok || f.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[f.Pkg().Path()]
+		if names == nil || !names[f.Name()] || len(call.Args) == 0 {
+			return true
+		}
+		if identUsesObj(info, call.Args[0], map[types.Object]bool{obj: true}) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

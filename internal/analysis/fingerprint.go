@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint statically cross-checks run-cache per-field policy tables
+// against the config structs they account for. A table is a
+// package-level `map[string]bool` variable whose doc comment carries
+// //paralint:fingerprint(T), where T names a struct type — unqualified
+// (same package), pkg.Type (any imported package whose name or path tail
+// matches) or a full import path like paraverser/internal/core.Config.
+//
+// Every field of the struct must appear as a key in the table literal
+// (true = hashed, false = deliberately excluded), and every key must
+// name a live field — so adding a config field without deciding its
+// cache policy, or renaming one and leaving a stale key, fails lint
+// rather than silently reusing stale cache entries. This promotes the
+// runtime reflect test's guarantee to lint time.
+var Fingerprint = &Analyzer{
+	Name: "fingerprint",
+	Doc:  "policy tables marked //paralint:fingerprint(T) must cover every field of T exactly",
+	Run:  runFingerprint,
+}
+
+func runFingerprint(pass *Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				doc := vs.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				arg, ok := directiveArg(doc, "fingerprint")
+				if !ok {
+					continue
+				}
+				checkFingerprintTable(pass, vs, arg)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFingerprintTable(pass *Pass, vs *ast.ValueSpec, typeName string) {
+	if len(vs.Names) != 1 || len(vs.Values) != 1 {
+		pass.Reportf(vs.Pos(), "fingerprint table must be a single var with a literal value")
+		return
+	}
+	lit, ok := ast.Unparen(vs.Values[0]).(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(vs.Pos(), "fingerprint table %s must be a map composite literal", vs.Names[0].Name)
+		return
+	}
+	st, err := resolveStruct(pass, typeName)
+	if err != nil {
+		pass.Reportf(vs.Pos(), "fingerprint table %s: %v", vs.Names[0].Name, err)
+		return
+	}
+	keys := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := stringLit(pass, kv.Key)
+		if !ok {
+			pass.Reportf(kv.Pos(), "fingerprint table %s: non-constant key", vs.Names[0].Name)
+			continue
+		}
+		if keys[key] {
+			pass.Reportf(kv.Pos(), "fingerprint table %s: duplicate key %q", vs.Names[0].Name, key)
+		}
+		keys[key] = true
+	}
+	fields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		fields[name] = true
+		if !keys[name] {
+			pass.Reportf(vs.Pos(), "fingerprint table %s: field %s.%s has no cache policy (add %q: true, or false with a reason)",
+				vs.Names[0].Name, typeName, name, name)
+		}
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := stringLit(pass, kv.Key); ok && !fields[key] {
+			pass.Reportf(kv.Pos(), "fingerprint table %s: stale key %q names no field of %s",
+				vs.Names[0].Name, key, typeName)
+		}
+	}
+}
+
+// stringLit evaluates a constant string expression.
+func stringLit(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info().Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	if err != nil {
+		return tv.Value.ExactString(), true
+	}
+	return s, true
+}
+
+// resolveStruct finds the named struct type in the current package or
+// anywhere in its import graph.
+func resolveStruct(pass *Pass, name string) (*types.Struct, error) {
+	pkgPart, typePart := "", name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		pkgPart, typePart = name[:i], name[i+1:]
+	}
+	var lookup func(p *types.Package, seen map[string]bool) *types.Struct
+	lookup = func(p *types.Package, seen map[string]bool) *types.Struct {
+		if seen[p.Path()] {
+			return nil
+		}
+		seen[p.Path()] = true
+		if pkgPart == "" || p.Path() == pkgPart || p.Name() == pkgPart ||
+			strings.HasSuffix(p.Path(), "/"+pkgPart) {
+			if obj := p.Scope().Lookup(typePart); obj != nil {
+				if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+					return st
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			if st := lookup(imp, seen); st != nil {
+				return st
+			}
+		}
+		return nil
+	}
+	if st := lookup(pass.Types(), map[string]bool{}); st != nil {
+		return st, nil
+	}
+	return nil, fmt.Errorf("cannot resolve struct type %q in package %s or its imports", name, pass.Types().Path())
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc flags allocating constructs inside functions annotated
+// //paralint:hotpath — the per-instruction emulate/consume path, whose
+// zero-allocation property the runtime benchmarks
+// (BenchmarkHartStep/BenchmarkCoreConsume with 0 allocs/op) gate. The
+// analyzer promotes that gate to lint time and names the construct.
+//
+// Flagged: function literals (closure environments escape), values of
+// concrete type passed or assigned where an interface is expected
+// (boxing), calls to the append builtin (growth allocates; arena-style
+// appends take a //paralint:allow), string concatenation and fmt
+// formatting.
+//
+// Expressions inside return statements are exempt: a hot-path function
+// that is about to return an error has already left the steady state,
+// so `return fmt.Errorf(...)` exit paths stay idiomatic.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs in //paralint:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// fmtAllocFuncs are formatting helpers that always allocate their
+// result.
+var fmtAllocFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcMarked(fd, "hotpath") {
+				continue
+			}
+			v := &hotPathVetter{pass: pass, info: pass.Info()}
+			v.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+type hotPathVetter struct {
+	pass *Pass
+	info *types.Info
+}
+
+// block walks statements, skipping return statements entirely (exit
+// paths are exempt).
+func (v *hotPathVetter) block(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.FuncLit:
+			v.pass.Reportf(n.Pos(), "closure in hot path (environment may escape and allocate)")
+			return false
+		case *ast.DeferStmt:
+			v.pass.Reportf(n.Pos(), "defer in hot path (runs per call, may allocate)")
+			return false
+		case *ast.GoStmt:
+			v.pass.Reportf(n.Pos(), "goroutine launch in hot path")
+			return false
+		case *ast.CallExpr:
+			v.call(n)
+		case *ast.CompositeLit:
+			if tv, ok := v.info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					v.pass.Reportf(n.Pos(), "slice/map literal in hot path allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && v.isString(n.X) {
+				v.pass.Reportf(n.Pos(), "string concatenation in hot path allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && v.isString(n.Lhs[0]) {
+				v.pass.Reportf(n.Pos(), "string concatenation in hot path allocates")
+			}
+			v.assign(n)
+		case *ast.ValueSpec:
+			v.valueSpec(n)
+		}
+		return true
+	})
+}
+
+func (v *hotPathVetter) isString(e ast.Expr) bool {
+	tv, ok := v.info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (v *hotPathVetter) call(call *ast.CallExpr) {
+	if isBuiltin(v.info, call.Fun, "append") {
+		v.pass.Reportf(call.Pos(), "append in hot path may grow and allocate (preallocate, or //paralint:allow an arena append)")
+		return
+	}
+	if isBuiltin(v.info, call.Fun, "make") || isBuiltin(v.info, call.Fun, "new") {
+		v.pass.Reportf(call.Pos(), "allocation in hot path")
+		return
+	}
+	if fn, ok := calleeObj(v.info, call).(*types.Func); ok && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "fmt" && fmtAllocFuncs[fn.Name()] {
+		v.pass.Reportf(call.Pos(), "fmt.%s in hot path allocates", fn.Name())
+		return
+	}
+	// Boxing check: concrete values handed to interface parameters.
+	sig := v.callSignature(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if types.IsInterface(pt) {
+			v.checkBoxing(arg, "interface argument")
+		}
+	}
+}
+
+// assign flags concrete-to-interface assignments (boxing on every
+// execution of the statement).
+func (v *hotPathVetter) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		tv, ok := v.info.Types[lhs]
+		if !ok && s.Tok == token.DEFINE {
+			continue // inferred type matches RHS; no conversion
+		}
+		if ok && types.IsInterface(tv.Type) {
+			v.checkBoxing(s.Rhs[i], "interface assignment")
+		}
+	}
+}
+
+// valueSpec flags `var x I = concrete` declarations, which box exactly
+// like assignments but arrive as ValueSpec nodes.
+func (v *hotPathVetter) valueSpec(s *ast.ValueSpec) {
+	if len(s.Names) != len(s.Values) {
+		return
+	}
+	for i, name := range s.Names {
+		obj := v.info.Defs[name]
+		if obj == nil || obj.Type() == nil {
+			continue
+		}
+		if s.Type != nil && types.IsInterface(obj.Type()) {
+			v.checkBoxing(s.Values[i], "interface assignment")
+		}
+	}
+}
+
+// checkBoxing reports arg when it is a non-nil concrete value whose use
+// in interface position forces a heap box.
+func (v *hotPathVetter) checkBoxing(arg ast.Expr, what string) {
+	tv, ok := v.info.Types[arg]
+	if !ok {
+		return
+	}
+	if tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return // interface-to-interface, no box
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr && tv.Value == nil {
+		// Pointers box without copying the pointee; still an interface
+		// header write, but the runtime stores pointers inline.
+		return
+	}
+	v.pass.Reportf(arg.Pos(), "concrete value boxed into %s in hot path", what)
+}
+
+// callSignature resolves the signature of the called function, if it is
+// a function or method call (not a conversion or builtin).
+func (v *hotPathVetter) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := v.info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}

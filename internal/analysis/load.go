@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg mirrors the subset of `go list -json` output the loader
+// consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// runGoList invokes the go command and decodes its JSON package stream.
+func runGoList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load enumerates the packages matching the go list patterns (resolved
+// relative to dir; empty dir means the current directory), type-checks
+// each from source against compiler export data for its dependencies,
+// and returns them in go list order. Loading requires the go toolchain
+// on PATH — the same toolchain that builds the repository — and no
+// other dependency.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	// One pass for the target set, one -deps pass to compile export data
+	// for every dependency. -e tolerates broken packages so we can report
+	// them all rather than stopping at the first.
+	targets, err := runGoList(dir, append([]string{"list", "-e",
+		"-json=ImportPath,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := runGoList(dir, append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard,Incomplete,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typecheck parses and type-checks one listed package from source.
+func typecheck(fset *token.FileSet, imp types.Importer, t listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(t.GoFiles))
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardSafety enforces the metrics-sharding ownership discipline: each
+// worker owns a private obs.RunMetrics / obs.Hist shard and mutates only
+// that, and shards are combined exclusively through the commutative
+// Merge/collect path. The analyzer flags any mutation — field write,
+// increment, or mutating method call — on a shard expression that is
+// "published": reached through an exported struct field or through a
+// call result. A published shard has escaped its owner, so concurrent
+// or order-dependent mutation through it is exactly the race the
+// sharded design exists to prevent.
+//
+// Legal mutation shapes therefore remain: through a local variable
+// (m := obs.NewRunMetrics(); m.Cycles++), through an unexported field
+// (s.metrics.Cycles++ inside the owning type), through a method
+// receiver (the obs package's own methods), and Merge on anything.
+var ShardSafety = &Analyzer{
+	Name: "shardsafety",
+	Doc:  "metrics shards may only be mutated by their owner; published shards are Merge-only",
+	Run:  runShardSafety,
+}
+
+const obsPath = "paraverser/internal/obs"
+
+// shardReadMethods never mutate their receiver.
+var shardReadMethods = map[string]bool{
+	"Mean": true, "Quantile": true, "String": true,
+	"PoolUtilization": true, "AddTo": true,
+}
+
+func runShardSafety(pass *Pass) error {
+	v := &shardVetter{pass: pass, info: pass.Info()}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			v.body = fd.Body
+			v.inspect(fd.Body)
+		}
+	}
+	return nil
+}
+
+func (v *shardVetter) inspect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				v.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			v.checkWrite(n.X)
+		case *ast.CallExpr:
+			v.checkCall(n)
+		case *ast.UnaryExpr:
+			// &shard.Field escapes a field for later mutation; treat
+			// taking the address through a published chain as a write.
+			if n.Op.String() == "&" {
+				v.checkWrite(n.X)
+			}
+		}
+		return true
+	})
+}
+
+type shardVetter struct {
+	pass *Pass
+	info *types.Info
+	body *ast.BlockStmt // enclosing function body, for ownership checks
+}
+
+func isShardType(t types.Type) bool {
+	return isNamed(t, obsPath, "RunMetrics") || isNamed(t, obsPath, "Hist")
+}
+
+// checkWrite reports lhs when it stores into a field of a shard reached
+// through a published chain.
+func (v *shardVetter) checkWrite(lhs ast.Expr) {
+	// Strip indexing/dereference wrappers: h.Counts[i]++ mutates h.
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+			continue
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := ast.Unparen(sel.X)
+	tv, ok := v.info.Types[base]
+	if !ok || !isShardType(tv.Type) {
+		// The written field may itself be a shard (res.Metrics = m) —
+		// overwriting a published shard wholesale is also a mutation. The
+		// exported field being written is itself the publication surface,
+		// so test the whole chain, not just the base — unless the base
+		// struct is a body-local the function is still populating (filling
+		// in a result before returning it is the owner's prerogative).
+		if tvSel, ok2 := v.info.Types[e]; ok2 && isShardType(tvSel.Type) &&
+			v.published(e) && !v.locallyOwned(base) {
+			v.pass.Reportf(lhs.Pos(), "write replaces published metrics shard %s (merge into it instead)", sel.Sel.Name)
+		}
+		return
+	}
+	if v.published(base) {
+		v.pass.Reportf(lhs.Pos(), "mutation of published metrics shard via %s (shards reached through exported surface are Merge-only)", sel.Sel.Name)
+	}
+}
+
+// checkCall reports mutating method calls on published shard receivers.
+func (v *shardVetter) checkCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := v.info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if !isShardType(selection.Recv()) {
+		return
+	}
+	name := sel.Sel.Name
+	if name == "Merge" || shardReadMethods[name] {
+		return
+	}
+	if v.published(ast.Unparen(sel.X)) {
+		v.pass.Reportf(call.Pos(), "%s mutates a published metrics shard (only the owner may call it; published shards are Merge-only)", name)
+	}
+}
+
+// locallyOwned reports whether e bottoms out in a variable declared
+// inside the current function body — a struct still being built, whose
+// fields (exported or not) no other party can reach yet. Parameters and
+// captured outer variables declare before the body starts, so they fail
+// the position test and stay treated as escaped.
+func (v *shardVetter) locallyOwned(e ast.Expr) bool {
+	if v.body == nil {
+		return false
+	}
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj, ok := v.info.Uses[x].(*types.Var)
+			if !ok {
+				return false
+			}
+			return obj.Pos() >= v.body.Pos() && obj.Pos() < v.body.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// published reports whether the expression reaches its value through an
+// exported struct field or a call result — i.e. through surface area
+// another goroutine or package could equally reach.
+func (v *shardVetter) published(e ast.Expr) bool {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if selection, ok := v.info.Selections[x]; ok {
+				// Exported fields of the shard types themselves (a
+				// RunMetrics's Hist members, a Hist's Counts) are
+				// intra-shard navigation, not publication: the shard is
+				// one ownership unit.
+				if selection.Kind() == types.FieldVal && x.Sel.IsExported() &&
+					!isShardType(selection.Recv()) {
+					return true
+				}
+				e = x.X
+				continue
+			}
+			// Package-qualified identifier (pkg.Var): a package-level
+			// exported var is shared surface.
+			if obj, ok := v.info.Uses[x.Sel].(*types.Var); ok && obj.Exported() &&
+				obj.Pkg() != nil && obj.Pkg() != v.pass.Types() {
+				return true
+			}
+			return false
+		case *ast.CallExpr:
+			// A constructor call like obs.NewRunMetrics() yields a fresh
+			// value the caller owns; any other call result is published
+			// surface.
+			if fn, ok := calleeObj(v.info, x).(*types.Func); ok &&
+				len(fn.Name()) >= 3 && fn.Name()[:3] == "New" {
+				return false
+			}
+			return true
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,46 @@
+//paralint:deterministic
+
+// Package allowed is a paralint fixture proving //paralint:allow(reason)
+// suppresses findings from every analyzer, on the same line or the line
+// above.
+package allowed
+
+import (
+	"fmt"
+	"time"
+
+	"paraverser/internal/obs"
+)
+
+var sink int64
+
+func sameLineAllow() {
+	sink = time.Now().Unix() //paralint:allow(fixture: same-line suppression)
+}
+
+func lineAboveAllow() {
+	//paralint:allow(fixture: line-above suppression)
+	sink = time.Now().Unix()
+}
+
+type bag struct {
+	items []string
+}
+
+//paralint:hotpath
+func hot(b *bag, n int) {
+	//paralint:allow(fixture: arena-style append)
+	b.items = append(b.items, "x")
+	//paralint:allow(fixture: diagnostic formatting)
+	s := fmt.Sprintf("%d", n)
+	_ = s
+}
+
+type holder struct {
+	Metrics *obs.RunMetrics
+}
+
+func publishedButVetted(h *holder) {
+	//paralint:allow(fixture: single-owner phase before publication)
+	h.Metrics.Segments++
+}

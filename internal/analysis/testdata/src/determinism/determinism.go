@@ -1,0 +1,122 @@
+//paralint:deterministic
+
+// Package determinism is a paralint fixture exercising the determinism
+// analyzer: wall-clock reads, global rand, and order-leaking map ranges.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var sink int64
+
+func clocks() {
+	t := time.Now() // want `wall-clock read time\.Now`
+	sink = t.Unix()
+	d := time.Since(t) // want `wall-clock read time\.Since`
+	sink += int64(d)
+	clock := time.Now // want `wall-clock read time\.Now`
+	sink += clock().Unix()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+func seededRandIsFine() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// leakOrder writes map-iteration state into results in arbitrary order.
+func leakOrder(m map[string]int) []int {
+	var out []int
+	last := ""
+	for k, v := range m {
+		out = append(out, v) // want `map-order-dependent write to out`
+		last = k             // want `map-order-dependent write to last`
+	}
+	_ = last
+	return out
+}
+
+// collectThenSort is the sanctioned pattern: order is erased by sorting.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutativeSum accumulates integers, which is order-insensitive.
+func commutativeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum leaks order through non-associative float addition.
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `map-order-dependent write to total`
+	}
+	return total
+}
+
+// keyedWrites touch distinct slots per iteration.
+func keyedWrites(m map[int]int, dense []int) map[int]int {
+	out := map[int]int{}
+	for k, v := range m {
+		out[k] = v * 2
+		dense[k] = v
+	}
+	return out
+}
+
+// earlyExit picks whichever element iteration yields first.
+func earlyExit(m map[string]int) int {
+	for _, v := range m {
+		return v // want `return inside map iteration`
+	}
+	return 0
+}
+
+// breakOut likewise selects an arbitrary element.
+func breakOut(m map[string]int) int {
+	best := -1
+	for _, v := range m {
+		if v > 10 {
+			best = v // want `map-order-dependent write to best`
+			break    // want `break inside map iteration`
+		}
+	}
+	return best
+}
+
+// deleteKeyed removes distinct entries per iteration; fine.
+func deleteKeyed(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// perIterationLocals never leak order.
+func perIterationLocals(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		double := v * 2
+		if double > 4 {
+			n += double
+		}
+	}
+	return n
+}

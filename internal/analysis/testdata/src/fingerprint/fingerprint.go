@@ -1,0 +1,56 @@
+// Package fingerprint is a paralint fixture exercising the fingerprint
+// analyzer: policy tables must cover their struct exactly.
+package fingerprint
+
+type config struct {
+	Alpha int
+	Beta  string
+	Gamma bool
+}
+
+// complete covers every field: clean.
+//
+//paralint:fingerprint(config)
+var complete = map[string]bool{
+	"Alpha": true,
+	"Beta":  true,
+	"Gamma": false,
+}
+
+// missing lacks Gamma and carries a stale key.
+//
+//paralint:fingerprint(config)
+var missing = map[string]bool{ // want `field config\.Gamma has no cache policy`
+	"Alpha": true,
+	"Beta":  true,
+	"Delta": true, // want `stale key "Delta"`
+}
+
+var gammaKey = "Gamma"
+
+// computed uses a non-constant key the analyzer cannot account for.
+//
+//paralint:fingerprint(config)
+var computed = map[string]bool{ // want `field config\.Gamma has no cache policy`
+	"Alpha":  true,
+	"Beta":   true,
+	gammaKey: true, // want `non-constant key`
+}
+
+// unresolved names a type that does not exist.
+//
+//paralint:fingerprint(nosuchtype)
+var unresolved = map[string]bool{} // want `cannot resolve struct type`
+
+// notATable has the directive on a non-literal.
+//
+//paralint:fingerprint(config)
+var notATable = mk() // want `must be a map composite literal`
+
+func mk() map[string]bool { return nil }
+
+var _ = complete
+var _ = missing
+var _ = computed
+var _ = unresolved
+var _ = notATable

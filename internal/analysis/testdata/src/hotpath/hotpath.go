@@ -1,0 +1,50 @@
+// Package hotpath is a paralint fixture exercising the hotpathalloc
+// analyzer: allocation-prone constructs inside annotated functions.
+package hotpath
+
+import "fmt"
+
+type state struct {
+	buf   []byte
+	count int
+	label string
+}
+
+type notifier interface{ notify(int) }
+
+//paralint:hotpath
+func step(s *state, n notifier, vals []int) error {
+	s.count++
+	f := func() { s.count-- } // want `closure in hot path`
+	_ = f
+	defer s.flush()          // want `defer in hot path`
+	go s.flush()             // want `goroutine launch in hot path`
+	s.buf = append(s.buf, 1) // want `append in hot path`
+	tmp := make([]int, 4)    // want `allocation in hot path`
+	_ = tmp
+	s.label = fmt.Sprintf("%d", s.count) // want `fmt\.Sprintf in hot path`
+	s.label = s.label + "x"              // want `string concatenation in hot path`
+	s.label += "y"                       // want `string concatenation in hot path`
+	var any interface{} = s.count        // want `concrete value boxed into interface assignment`
+	_ = any
+	n.notify(s.count)
+	box(s.count)       // want `concrete value boxed into interface argument`
+	box(s)             // pointers are stored inline: no box
+	lit := []int{1, 2} // want `slice/map literal in hot path allocates`
+	_ = lit
+	if s.count < 0 {
+		return fmt.Errorf("bad count %d", s.count) // exit path: exempt
+	}
+	return nil
+}
+
+func box(v interface{}) { _ = v }
+
+func (s *state) flush() {}
+
+// cold is unannotated: the same constructs are fine here.
+func cold(s *state) {
+	s.buf = append(s.buf, 2)
+	s.label = fmt.Sprintf("%d", s.count)
+	go s.flush()
+}

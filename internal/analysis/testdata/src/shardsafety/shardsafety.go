@@ -1,0 +1,61 @@
+// Package shardsafety is a paralint fixture exercising the shardsafety
+// analyzer: obs metrics shards reached through exported surface are
+// Merge-only.
+package shardsafety
+
+import "paraverser/internal/obs"
+
+// Result publishes its shard through an exported field.
+type Result struct {
+	Metrics *obs.RunMetrics
+}
+
+// worker owns its shard through an unexported field.
+type worker struct {
+	metrics *obs.RunMetrics
+}
+
+func (w *worker) Metrics() *obs.RunMetrics { return w.metrics }
+
+// ownerMutation is the legal shape: unexported field, owner-only.
+func ownerMutation(w *worker) {
+	w.metrics.Segments++
+	w.metrics.CheckLatencyNS.Observe(3)
+}
+
+// localMutation owns a freshly constructed shard.
+func localMutation() *obs.RunMetrics {
+	m := obs.NewRunMetrics()
+	m.Segments++
+	m.CheckQueueDepth.Observe(1)
+	return m
+}
+
+// publishedFieldMutation writes through an exported field: the shard has
+// escaped its owner.
+func publishedFieldMutation(r *Result) {
+	r.Metrics.Segments++                // want `mutation of published metrics shard via Segments`
+	r.Metrics.CheckLatencyNS.Observe(5) // want `Observe mutates a published metrics shard`
+}
+
+// callResultMutation mutates a shard handed out by an accessor.
+func callResultMutation(w *worker) {
+	w.Metrics().Segments++                 // want `mutation of published metrics shard via Segments`
+	w.Metrics().CheckQueueDepth.Observe(2) // want `Observe mutates a published metrics shard`
+}
+
+// mergeIsAlwaysLegal combines shards through the commutative path.
+func mergeIsAlwaysLegal(r *Result, w *worker) {
+	r.Metrics.Merge(w.metrics)
+	w.Metrics().Merge(r.Metrics)
+}
+
+// readsAreFine never mutate.
+func readsAreFine(r *Result) (float64, string) {
+	return r.Metrics.PoolUtilization(), r.Metrics.String()
+}
+
+// replacePublished overwrites a published shard wholesale.
+func replacePublished(r *Result) {
+	r.Metrics = obs.NewRunMetrics() // want `write replaces published metrics shard Metrics`
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"paraverser/internal/isa"
+	"paraverser/internal/isa/verify"
 )
 
 // Builder incrementally assembles a program. Methods panic on structural
@@ -388,4 +389,20 @@ func (b *Builder) MustBuild() *isa.Program {
 		panic(err)
 	}
 	return p
+}
+
+// BuildVerified is Build followed by the static program verifier
+// (internal/isa/verify): control-flow, HALT reachability, register
+// use-before-def and statically resolvable memory bounds. Workload
+// generators should prefer it so malformed programs fail at assembly
+// time instead of as emulation divergence.
+func (b *Builder) BuildVerified() (*isa.Program, error) {
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := verify.Check(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

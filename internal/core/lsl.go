@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package core implements ParaVerser itself (section IV of the paper):
 // the load-store-log entry format and Load-Store Log Cache accounting, the
 // Load-Store Push Unit, the Register Checkpointing Unit, the Load-Store
@@ -61,12 +63,15 @@ func EntryFromEffect(eff *emu.Effect) (Entry, bool) {
 // instruction. The caller must not truncate the arena while any entry
 // taken from it is still reachable (Segment copies that outlive a
 // segment must deep-copy their Ops).
+//
+//paralint:hotpath
 func EntryFromEffectArena(eff *emu.Effect, arena *[]MemRec) (Entry, bool) {
 	a := *arena
 	start := len(a)
 	var e Entry
 	if eff.NonRepeat {
 		e.Kind = EntryNonRepeat
+		//paralint:allow(arena append: grows once per segment, then reuses capacity)
 		a = append(a, MemRec{Size: 8, Data: eff.NonRepeatVal, Load: true})
 	} else {
 		if eff.NMem == 0 {
@@ -74,6 +79,7 @@ func EntryFromEffectArena(eff *emu.Effect, arena *[]MemRec) (Entry, bool) {
 		}
 		for i := 0; i < eff.NMem; i++ {
 			m := eff.Mem[i]
+			//paralint:allow(arena append: grows once per segment, then reuses capacity)
 			a = append(a, MemRec{
 				Addr: m.Addr, Size: m.Size, Data: m.Data, Load: m.Kind == emu.MemLoad,
 			})

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package cpu implements the instruction-grain cycle-accounting timing
 // models for the cores in the study: a 5-wide out-of-order core modelled
 // on the Arm Cortex-X2, a 3-wide in-order core modelled on the

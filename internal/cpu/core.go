@@ -230,6 +230,8 @@ func (c *Core) AdvanceTo(cycle float64) {
 
 // srcReady returns the cycle when all source operands of the instruction
 // are available, walking the predecoded operand descriptor.
+//
+//paralint:hotpath
 func (c *Core) srcReady(d *isa.DecInst) float64 {
 	var t float64
 	for i := uint8(0); i < d.NIntSrc; i++ {
@@ -247,6 +249,8 @@ func (c *Core) srcReady(d *isa.DecInst) float64 {
 
 // allocFU reserves a functional unit from the (predecoded) FU class's
 // pool, returning its start time given the earliest possible issue time.
+//
+//paralint:hotpath
 func (c *Core) allocFU(fuClass isa.Class, earliest float64) (start float64, latency int) {
 	pool := c.fuFree[fuClass]
 	best := 0
@@ -268,6 +272,8 @@ func (c *Core) allocFU(fuClass isa.Class, earliest float64) (start float64, late
 const pauseCycles = 48
 
 // Consume advances the timing model over one executed instruction.
+//
+//paralint:hotpath
 func (c *Core) Consume(eff *emu.Effect) {
 	d := eff.Dec
 	if d == nil {
@@ -399,6 +405,8 @@ func (c *Core) Consume(eff *emu.Effect) {
 
 // loadDone models the data access(es) of a load-class instruction and
 // returns the completion time.
+//
+//paralint:hotpath
 func (c *Core) loadDone(eff *emu.Effect, start float64) float64 {
 	if c.mode == ModeChecker {
 		// Checker loads are served from the LSL$: direct-indexed, no tag
@@ -434,6 +442,8 @@ func (c *Core) loadDone(eff *emu.Effect, start float64) float64 {
 }
 
 // storeAtCommit applies store-side cache effects at commit time.
+//
+//paralint:hotpath
 func (c *Core) storeAtCommit(eff *emu.Effect, commit float64) {
 	if c.mode == ModeChecker {
 		// Checker stores only access the load-store comparator; there is

@@ -72,6 +72,8 @@ func (h *Hart) Step(prog *isa.Program, env Env, intc Interceptor, eff *Effect) e
 // StepDecoded executes one instruction from a predecoded program. This is
 // the hot path: no closures, no per-step decode switches beyond the
 // opcode dispatch itself, and no heap allocation on the fault-free path.
+//
+//paralint:hotpath
 func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Effect) error {
 	if h.Halted {
 		return fmt.Errorf("emu: hart %d: step after halt", h.ID)

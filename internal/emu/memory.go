@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package emu implements the functional emulator for the repo ISA:
 // architectural state, sparse byte-addressable memory shared between
 // harts, per-instruction effect records (the raw material for load-store

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (section VII): full-coverage slowdowns against the prior-work
 // baselines (fig. 6), opportunistic slowdowns (fig. 7), hard-error

@@ -35,7 +35,10 @@ func cacheable(cfg *core.Config) bool { return cfg.CheckerInterceptor == nil }
 // (false, with the reason below). TestFingerprintCoversConfig reflects
 // over core.Config and fails on any field missing from this table, so a
 // new field cannot silently reuse stale cache entries: it must be added
-// here — and to writeConfig if it can change simulated outcomes.
+// here — and to writeConfig if it can change simulated outcomes. The
+// paralint fingerprint analyzer enforces the same property at lint time.
+//
+//paralint:fingerprint(paraverser/internal/core.Config)
 var fingerprintedConfigFields = map[string]bool{
 	"Main":                   true,
 	"MainFreqGHz":            true,
@@ -73,7 +76,10 @@ var fingerprintedConfigFields = map[string]bool{
 // writeConfig hashes wholesale via %+v (Main, LaneMains, Checkers): every
 // listed field rides along in that rendering. A new cpu.Config field
 // fails TestFingerprintCoversConfig until it is listed here; mark it
-// false only if it genuinely cannot affect simulated timing.
+// false only if it genuinely cannot affect simulated timing. Enforced at
+// lint time by the paralint fingerprint analyzer alongside the table above.
+//
+//paralint:fingerprint(paraverser/internal/cpu.Config)
 var fingerprintedCPUFields = map[string]bool{
 	"Name":          true,
 	"OoO":           true,

@@ -102,6 +102,7 @@ func (e *Engine) Gather() *obs.RunMetrics {
 	e.mu.Lock()
 	calls := make([]*runCall, 0, len(e.cache)+len(e.uncached))
 	for _, c := range e.cache {
+		//paralint:allow(collection order is erased by the commutative Merge below)
 		calls = append(calls, c)
 	}
 	calls = append(calls, e.uncached...)

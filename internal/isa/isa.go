@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package isa defines the instruction set architecture used throughout the
 // ParaVerser reproduction: a small 64-bit RISC ISA with integer and
 // floating-point arithmetic, sized loads and stores, scatter/gather

@@ -1,0 +1,63 @@
+package verify_test
+
+import (
+	"testing"
+
+	"paraverser/internal/isa"
+	"paraverser/internal/isa/verify"
+	"paraverser/internal/workload/gap"
+	"paraverser/internal/workload/parsec"
+	"paraverser/internal/workload/spec"
+)
+
+// TestShippedWorkloadsVerifyClean proves every program the workload
+// generators emit — the synthetic SPEC profiles, the GAP graph kernels
+// and the PARSEC-style kernels — passes the static verifier with zero
+// errors. CI runs this as the "Verify workloads" gate.
+func TestShippedWorkloadsVerifyClean(t *testing.T) {
+	var progs []*isa.Program
+
+	for _, p := range spec.Profiles() {
+		prog, err := p.Build(64)
+		if err != nil {
+			t.Fatalf("spec %s: %v", p.Name, err)
+		}
+		progs = append(progs, prog)
+	}
+
+	g := gap.Uniform(64, 4, 1)
+	for _, k := range []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"bfs", first(gap.BFS(g, 0))},
+		{"pagerank", first(gap.PageRank(g, 3))},
+		{"sssp", first(gap.SSSP(g, 0))},
+		{"cc", first(gap.CC(g))},
+		{"tc", first(gap.TC(g))},
+		{"bc", first(gap.BC(g, 0))},
+	} {
+		progs = append(progs, k.prog)
+	}
+
+	for _, k := range parsec.Kernels(0) {
+		progs = append(progs, k.Prog)
+	}
+
+	if len(progs) == 0 {
+		t.Fatal("no workload programs generated")
+	}
+	for _, prog := range progs {
+		rep := verify.Verify(prog)
+		if err := rep.Err(); err != nil {
+			t.Errorf("%v", err)
+		}
+		for _, f := range rep.Findings {
+			if f.Sev == verify.SevWarn {
+				t.Errorf("verify %q: unexpected warning: %s", prog.Name, f)
+			}
+		}
+	}
+}
+
+func first(p *isa.Program, _ uint64) *isa.Program { return p }

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package obs is the run-engine observability layer: deterministic
 // metrics (counters, gauges, histograms), a bounded segment-trace ring
 // that dumps Chrome trace_event JSON, and a live progress reporter.
@@ -229,11 +231,23 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// ReadSnapshotJSON parses a snapshot written by WriteJSON.
+// ReadSnapshotJSON parses a snapshot written by WriteJSON. It is
+// strict: the input must be exactly one JSON object carrying at least
+// one metric — trailing data or an empty/missing metric set means the
+// file is not a metrics snapshot (truncated write, wrong file), and
+// silently accepting it would let downstream cross-checks "pass"
+// against a vacuous snapshot.
 func ReadSnapshotJSON(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
 	var s Snapshot
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("obs: parsing metrics JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("obs: trailing data after metrics JSON")
+	}
+	if len(s.Metrics) == 0 {
+		return nil, fmt.Errorf("obs: metrics JSON contains no metrics")
 	}
 	return &s, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -153,19 +154,36 @@ func (t *Trace) WriteFile(path string) error {
 }
 
 // ReadTraceJSON parses a Chrome trace file written by WriteJSON and
-// returns the events plus per-category dropped counts.
+// returns the events plus per-category dropped counts. It is strict:
+// trailing data after the trace object or a malformed dropped_* count
+// is an error — the dropped counts feed the segment-accounting
+// cross-check, and a count that silently parses to nothing would make
+// that check vacuously pass.
 func ReadTraceJSON(r io.Reader) ([]TraceEvent, map[string]uint64, error) {
+	dec := json.NewDecoder(r)
 	var tf traceFile
-	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+	if err := dec.Decode(&tf); err != nil {
 		return nil, nil, fmt.Errorf("parse trace: %w", err)
 	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, nil, fmt.Errorf("parse trace: trailing data after trace JSON")
+	}
+	// Walk the keys in sorted order so a file with several bad counts
+	// reports the same one every time.
+	keys := make([]string, 0, len(tf.OtherData))
+	for k := range tf.OtherData {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	dropped := make(map[string]uint64)
-	for k, v := range tf.OtherData {
+	for _, k := range keys {
 		if len(k) > len("dropped_") && k[:len("dropped_")] == "dropped_" {
-			var n uint64
-			if _, err := fmt.Sscan(v, &n); err == nil {
-				dropped[k[len("dropped_"):]] = n
+			v := tf.OtherData[k]
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse trace: bad dropped count %s=%q", k, v)
 			}
+			dropped[k[len("dropped_"):]] = n
 		}
 	}
 	return tf.TraceEvents, dropped, nil

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package gap implements the GAP benchmark suite kernels (Beamer et al.)
 // as real programs in the repo ISA over synthetic graphs: BFS, PageRank,
 // SSSP (Bellman-Ford), Connected Components (label propagation), Triangle

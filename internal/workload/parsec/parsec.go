@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package parsec provides two-thread shared-memory kernels standing in
 // for the PARSEC suite at simmedium scale (see DESIGN.md's substitution
 // table): an option-pricing map (blackscholes), a Monte-Carlo summation

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package spec provides synthetic stand-ins for the SPECspeed 2017
 // benchmarks (SPEC is proprietary; see DESIGN.md's substitution table).
 // Each benchmark is a generated program whose instruction mix, working
@@ -178,6 +180,14 @@ func (p Profile) Build(iters int64) (*isa.Program, error) {
 	for i := isa.Reg(1); i <= 14; i++ {
 		b.Li(rT0, int64(i)*3+1)
 		b.Fcvtif(i, rT0)
+	}
+	// Seed the block scratch pool (r5-r14): the emulator zero-fills the
+	// register file, so reading these uninitialised would still be
+	// deterministic, but distinct non-zero seeds keep the generated ALU
+	// mix from collapsing onto zero values and make the programs clean
+	// under the static verifier's use-before-def rule.
+	for i := isa.Reg(5); i <= 14; i++ {
+		b.Li(i, int64(i)*2654435761+17)
 	}
 	b.Jmp("block0")
 	b.Label("exit")
