@@ -6,7 +6,7 @@
 //	paraverser [flags] <experiment>...
 //
 // Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area
-// opportunity ablation all
+// opportunity ablation campaign divergent all
 //
 // Flags select the simulation scale; the default "full" scale runs each
 // benchmark for 250k measured instructions after a 150k-instruction
@@ -69,7 +69,7 @@ func run(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
 		fmt.Fprintf(fs.Output(), "       paraverser metrics [-trace trace.json] metrics.json\n")
-		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign all\n")
+		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign divergent all\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -189,7 +189,7 @@ func run(args []string) int {
 	names := fs.Args()
 	concurrent := false
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign"}
+		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign", "divergent"}
 		concurrent = true
 	}
 	camp := campaignOpts{seed: *seed, trials: *campaignTrials, workers: *campaignWorkers}
@@ -318,6 +318,13 @@ func runExperiment(name string, sc experiments.Scale, camp campaignOpts) (string
 		}
 		fmt.Fprintf(&b, "fault-injection campaign: %d trials, seed %d\n\n", len(r.Trials), camp.seed)
 		fmt.Fprintln(&b, r.TrialTable())
+		fmt.Fprintln(&b, r.Table())
+	case "divergent":
+		r, err := experiments.Divergent(sc, camp.seed, camp.trials, camp.workers)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "divergent-vs-lockstep study: %d paired trials, seed %d\n\n", len(r.Lockstep.Trials), camp.seed)
 		fmt.Fprintln(&b, r.Table())
 	case "table1":
 		fmt.Fprintln(&b, experiments.Table1())

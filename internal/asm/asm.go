@@ -358,9 +358,11 @@ func (b *Builder) Build() (*isa.Program, error) {
 	for label, pcs := range b.fixups {
 		tgt, ok := b.labels[label]
 		if !ok {
+			//paralint:allow(error path; any unresolved label fails the build identically)
 			return nil, fmt.Errorf("asm %q: unresolved label %q", b.name, label)
 		}
 		for _, pc := range pcs {
+			//paralint:allow(each fixup patches a distinct pc; order cannot leak)
 			b.insts[pc].Imm = int64(tgt - pc)
 		}
 	}

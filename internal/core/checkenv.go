@@ -6,55 +6,66 @@ import (
 	"paraverser/internal/emu"
 )
 
+// logCursor walks a segment's load-store log in commit order. Both
+// replay environments — the lockstep CheckerEnv and the divergent-mode
+// DivergentEnv — consume the log through one cursor, so the two check
+// modes share the log-accounting semantics (exhaustion, leftover
+// entries, entry indexing for mismatch reports).
+type logCursor struct {
+	seg      *Segment
+	entryIdx int
+	opIdx    int
+}
+
+// errLogExhausted is returned internally when the checker consumes more
+// operations than were logged; the verifier converts it into a mismatch.
+var errLogExhausted = errors.New("core: load-store log exhausted")
+
+// next fetches the next logged operation in commit order.
+func (c *logCursor) next() (MemRec, int, error) {
+	for c.entryIdx < len(c.seg.Entries) {
+		entry := c.seg.Entries[c.entryIdx]
+		if c.opIdx < len(entry.Ops) {
+			op := entry.Ops[c.opIdx]
+			idx := c.entryIdx
+			c.opIdx++
+			if c.opIdx >= len(entry.Ops) {
+				c.entryIdx++
+				c.opIdx = 0
+			}
+			return op, idx, nil
+		}
+		c.entryIdx++
+		c.opIdx = 0
+	}
+	return MemRec{}, c.entryIdx, errLogExhausted
+}
+
+// Consumed reports whether the checker used exactly the logged entries.
+func (c *logCursor) Consumed() bool {
+	return c.entryIdx >= len(c.seg.Entries)
+}
+
+// pos returns the current entry index, for mismatch attribution.
+func (c *logCursor) pos() int { return c.entryIdx }
+
 // CheckerEnv is the emu.Env a checker core executes against: every load,
 // atomic and non-repeatable value is served from the segment's load-store
 // log in program order, every address/size/store-datum is compared by the
 // LSC (or absorbed into the Hash Mode digest), and nothing touches real
 // memory — a checker thread "cannot read data" (section IV footnote 12).
 type CheckerEnv struct {
-	seg *Segment
+	logCursor
 	lsc *LSC
 	rcu *RCU
-
-	entryIdx int
-	opIdx    int
 }
 
 var _ emu.Env = (*CheckerEnv)(nil)
 
-// errLogExhausted is returned internally when the checker consumes more
-// operations than were logged; the verifier converts it into a mismatch.
-var errLogExhausted = errors.New("core: load-store log exhausted")
-
 // NewCheckerEnv builds the replay environment for one segment. rcu
 // supplies Hash Mode state; it may be a non-hash RCU.
 func NewCheckerEnv(seg *Segment, lsc *LSC, rcu *RCU) *CheckerEnv {
-	return &CheckerEnv{seg: seg, lsc: lsc, rcu: rcu}
-}
-
-// next fetches the next logged operation in commit order.
-func (e *CheckerEnv) next() (MemRec, int, error) {
-	for e.entryIdx < len(e.seg.Entries) {
-		entry := e.seg.Entries[e.entryIdx]
-		if e.opIdx < len(entry.Ops) {
-			op := entry.Ops[e.opIdx]
-			idx := e.entryIdx
-			e.opIdx++
-			if e.opIdx >= len(entry.Ops) {
-				e.entryIdx++
-				e.opIdx = 0
-			}
-			return op, idx, nil
-		}
-		e.entryIdx++
-		e.opIdx = 0
-	}
-	return MemRec{}, e.entryIdx, errLogExhausted
-}
-
-// Consumed reports whether the checker used exactly the logged entries.
-func (e *CheckerEnv) Consumed() bool {
-	return e.entryIdx >= len(e.seg.Entries)
+	return &CheckerEnv{logCursor: logCursor{seg: seg}, lsc: lsc, rcu: rcu}
 }
 
 // Load implements emu.Env: the LSL$ supplies the original run's data so

@@ -38,6 +38,49 @@ func (m Mode) String() string {
 	}
 }
 
+// CheckMode selects how checker cores re-execute a segment (DME-style
+// divergent checking versus the paper's identical replay).
+type CheckMode uint8
+
+// Check modes. The zero value is lockstep so existing configurations keep
+// their meaning.
+const (
+	// CheckLockstep replays the identical program over the identical
+	// address layout — the paper's checking. Layout-correlated faults
+	// (stuck address bits, DRAM row faults) corrupt main and checker
+	// identically and escape.
+	CheckLockstep CheckMode = iota
+	// CheckDivergent replays a structurally decorrelated program variant
+	// (shifted data segment, permuted register allocation) and compares
+	// both lanes in a canonical, layout-independent domain. Requires
+	// full-coverage mode, no Hash Mode, and single-hart workloads (the
+	// checker keeps a private memory image, which cross-hart
+	// communication would invalidate).
+	CheckDivergent
+)
+
+func (m CheckMode) String() string {
+	switch m {
+	case CheckLockstep:
+		return "lockstep"
+	case CheckDivergent:
+		return "divergent"
+	default:
+		return "invalid"
+	}
+}
+
+// DivergentConfig tunes the decorrelated variant the divergent check mode
+// builds for each workload.
+type DivergentConfig struct {
+	// DataShiftBytes relocates the variant's data segment (0 = automatic:
+	// clears the original window and sets address bits at several
+	// power-of-two strides). Must be 4KiB-aligned when set.
+	DataShiftBytes uint64
+	// RegSeed seeds the register-allocation permutation (0 behaves as 1).
+	RegSeed uint64
+}
+
 // LaneMain overrides one lane's main-core model.
 type LaneMain struct {
 	CPU     cpu.Config
@@ -120,6 +163,11 @@ type Config struct {
 
 	Mode     Mode
 	HashMode bool
+	// CheckMode selects lockstep (identical replay) or divergent
+	// (decorrelated variant, canonical comparison) checking.
+	CheckMode CheckMode
+	// Divergent tunes the decorrelated variant (CheckDivergent only).
+	Divergent DivergentConfig
 	// EagerWake lets a checker start as log lines arrive rather than at
 	// checkpoint end (section IV-H).
 	EagerWake bool
@@ -177,6 +225,13 @@ type Config struct {
 	// each checker core (the paper injects on the checker side so the
 	// main run is undisturbed, section VII-B).
 	CheckerInterceptor func(laneID, checkerID int) emu.Interceptor
+
+	// MainInterceptor, when non-nil, supplies a fault injector for each
+	// main lane's execution — the common-mode half of a layout-correlated
+	// fault model (a stuck address bit or DRAM row fault lives in the
+	// shared memory path, so it corrupts the main run too). Runs with a
+	// main interceptor always dispatch checks synchronously.
+	MainInterceptor func(laneID int) emu.Interceptor
 
 	// Recovery configures the closed-loop error-recovery layer
 	// (re-replay, forensics, maintenance tracking, quarantine).
@@ -248,6 +303,23 @@ func (c *Config) Validate() error {
 				return fmt.Errorf("core: checker %q frequency %.2f out of range", spec.CPU.Name, spec.FreqGHz)
 			}
 		}
+	}
+	switch c.CheckMode {
+	case CheckLockstep:
+	case CheckDivergent:
+		if len(c.Checkers) > 0 {
+			if c.Mode != ModeFullCoverage {
+				return fmt.Errorf("core: divergent checking requires full-coverage mode (opportunistic skips would desynchronise the checker's private memory)")
+			}
+			if c.HashMode {
+				return fmt.Errorf("core: divergent checking is incompatible with Hash Mode (the digest absorbs raw addresses)")
+			}
+		}
+		if c.Divergent.DataShiftBytes%4096 != 0 {
+			return fmt.Errorf("core: divergent data shift %#x not 4KiB-aligned", c.Divergent.DataShiftBytes)
+		}
+	default:
+		return fmt.Errorf("core: invalid check mode %d", c.CheckMode)
 	}
 	if err := c.Recovery.Validate(); err != nil {
 		return err

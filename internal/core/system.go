@@ -56,6 +56,9 @@ type System struct {
 type process struct {
 	w    Workload
 	mach *emu.Machine
+	// plan is the process's decorrelated variant and layout map, built
+	// once per program when CheckMode is divergent (nil otherwise).
+	plan *DivergentPlan
 }
 
 type lane struct {
@@ -94,6 +97,10 @@ type lane struct {
 	executed int64
 	res      LaneResult
 	done     bool
+
+	// div is this lane's divergent-checking state (variant plan + private
+	// memory image); nil in lockstep mode.
+	div *divState
 
 	// segDegraded marks the segment as a graceful-degradation window: a
 	// full-coverage lane running unchecked because quarantine emptied
@@ -201,8 +208,12 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 	}
 	// Recovery consumes check verdicts immediately (re-replay,
 	// quarantine) and interceptors carry per-run mutable state; both
-	// keep the legacy synchronous dispatch.
-	s.pipelined = len(cfg.Checkers) > 0 && !cfg.Recovery.Enabled && cfg.CheckerInterceptor == nil
+	// keep the legacy synchronous dispatch. Divergent mode does too: its
+	// private memory image advances with each verified segment, so checks
+	// are ordered against the main lane by construction.
+	s.pipelined = len(cfg.Checkers) > 0 && !cfg.Recovery.Enabled &&
+		cfg.CheckerInterceptor == nil && cfg.MainInterceptor == nil &&
+		cfg.CheckMode == CheckLockstep
 	if s.pipelined && cfg.CheckWorkers > 1 {
 		s.checkSem = make(chan struct{}, cfg.CheckWorkers)
 	}
@@ -213,7 +224,21 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: workload %q: %w", w.Name, err)
 		}
+		if cfg.MainInterceptor != nil {
+			mach.Intc = cfg.MainInterceptor(laneIdx)
+		}
 		p := &process{w: w, mach: mach}
+		if cfg.CheckMode == CheckDivergent && len(cfg.Checkers) > 0 {
+			if len(mach.Harts) > 1 {
+				// The divergent checker's private memory image tracks one
+				// verified store stream; cross-hart stores would bypass it.
+				return nil, fmt.Errorf("core: workload %q: divergent checking requires single-hart programs (got %d harts)", w.Name, len(mach.Harts))
+			}
+			p.plan, err = NewDivergentPlan(w.Prog, cfg.Divergent)
+			if err != nil {
+				return nil, fmt.Errorf("core: workload %q: %w", w.Name, err)
+			}
+		}
 		s.procs = append(s.procs, p)
 		for hart := range mach.Harts {
 			l, err := s.newLane(laneIdx, p, hart)
@@ -258,13 +283,20 @@ func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
 		CoreName: mainCfg.Name, FreqGHz: mainFreq,
 	}
 	mainCore.Hier.Beyond = s.beyondFor(l.pos)
+	if p.plan != nil {
+		l.div = newDivState(p.plan)
+	}
 
 	if len(s.cfg.Checkers) > 0 {
+		ckMode := cpu.ModeChecker
+		if s.cfg.CheckMode == CheckDivergent {
+			ckMode = cpu.ModeCheckerDivergent
+		}
 		var checkers []*Checker
 		id := 0
 		for _, spec := range s.cfg.Checkers {
 			for i := 0; i < spec.Count; i++ {
-				ckCore, err := cpu.NewCore(spec.CPU, spec.FreqGHz, cpu.ModeChecker)
+				ckCore, err := cpu.NewCore(spec.CPU, spec.FreqGHz, ckMode)
 				if err != nil {
 					return nil, err
 				}
@@ -413,6 +445,17 @@ func (s *System) runSegment(l *lane) error {
 				// take a new checkpoint (section IV-A).
 				resumeAtNS = e.FreeAtNS
 			}
+		}
+	}
+
+	if l.div != nil {
+		if l.segChecked && l.div.dirty {
+			// Unchecked windows ran past the private image; rebuild it
+			// from the main's pre-segment memory before this check.
+			l.div.resync(l.proc.mach.Mem)
+		} else if !l.segChecked {
+			// This segment's stores will not reach the private image.
+			l.div.dirty = true
 		}
 	}
 
@@ -641,9 +684,22 @@ func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
 	if s.cfg.CheckerInterceptor != nil {
 		intc = s.cfg.CheckerInterceptor(l.idx, ck.ID)
 	}
-	res := CheckSegment(l.proc.w.Prog, seg, s.cfg.HashMode, intc, func(e *emu.Effect) {
-		ck.Core.Consume(e)
-	})
+	var res CheckResult
+	if l.div != nil {
+		res = CheckSegmentDivergent(l.proc.plan, l.div.mem, seg, intc, func(e *emu.Effect) {
+			ck.Core.Consume(e)
+		})
+		s.metrics.SegmentsCheckedDivergent++
+		for _, m := range res.Mismatches {
+			if m.Kind == MismatchLoadData {
+				s.metrics.DivergentDataMismatches++
+			}
+		}
+	} else {
+		res = CheckSegment(l.proc.w.Prog, seg, s.cfg.HashMode, intc, func(e *emu.Effect) {
+			ck.Core.Consume(e)
+		})
+	}
 	durNS := (ck.Core.Cycles() - c0) / ck.FreqGHz
 	doneNS := startNS + durNS
 	if s.cfg.EagerWake {

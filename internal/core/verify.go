@@ -18,6 +18,16 @@ type CheckResult struct {
 // induction check).
 func (r CheckResult) Detected() bool { return !r.OK }
 
+// checkEnv is what the shared check loop needs from a replay environment:
+// the emu.Env the checker hart executes against, plus log accounting.
+// Lockstep (CheckerEnv) and divergent (DivergentEnv) replay differ only
+// in the environment; the verification loop is this one code path.
+type checkEnv interface {
+	emu.Env
+	Consumed() bool
+	pos() int
+}
+
 // CheckSegment replays one segment on a checker: re-executes the
 // instruction stream from the start register checkpoint with loads served
 // from the log, compares every address/size/store-datum (LSC) or digest
@@ -30,21 +40,49 @@ func CheckSegment(prog *isa.Program, seg *Segment, hashMode bool, intc emu.Inter
 	lsc := &LSC{}
 	rcu := NewRCU(hashMode)
 	env := NewCheckerEnv(seg, lsc, rcu)
-
 	hart := &emu.Hart{ID: seg.Hart, State: seg.Start}
+	endOK := func(got *emu.ArchState) bool { return rcu.Compare(&seg.End, got) }
+	return runCheck(prog, hart, seg, endOK, env, lsc, rcu, intc, sink)
+}
+
+// CheckSegmentDivergent replays one segment as the decorrelated variant:
+// the start checkpoint moves through the register permutation, the
+// variant instruction stream executes over the lane's private memory
+// image with logged loads cross-checked against it, every comparison
+// happens in the canonical domain, and the end register file is compared
+// through the permutation with the pointer dual accept. Hash Mode is
+// unavailable here — its digest absorbs raw addresses, which are
+// layout-dependent by design.
+func CheckSegmentDivergent(plan *DivergentPlan, mem *emu.Memory, seg *Segment, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
+	lsc := &LSC{}
+	rcu := NewRCU(false)
+	env := NewDivergentEnv(plan, mem, seg, lsc)
+	start := plan.PermuteState(&seg.Start)
+	hart := &emu.Hart{ID: seg.Hart, State: start}
+	endOK := func(got *emu.ArchState) bool { return plan.EndMatches(&seg.End, got) }
+	return runCheck(plan.Variant, hart, seg, endOK, env, lsc, rcu, intc, sink)
+}
+
+// runCheck is the single verification loop both check modes share: run
+// the hart to the checkpointed instruction count over env, then apply the
+// induction checks (endOK register compare, digest or leftover-log
+// check).
+//
+//paralint:hotpath
+func runCheck(prog *isa.Program, hart *emu.Hart, seg *Segment, endOK func(*emu.ArchState) bool, env checkEnv, lsc *LSC, rcu *RCU, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
 	res := CheckResult{}
 
 	var eff emu.Effect
 	for res.Insts < seg.Insts {
 		if hart.Halted {
-			lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.entryIdx})
+			lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.pos()})
 			break
 		}
 		if err := hart.Step(prog, env, intc, &eff); err != nil {
 			if errors.Is(err, errLogExhausted) {
-				lsc.record(Mismatch{Kind: MismatchLogExhausted, EntryIdx: env.entryIdx})
+				lsc.record(Mismatch{Kind: MismatchLogExhausted, EntryIdx: env.pos()})
 			} else {
-				lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.entryIdx})
+				lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.pos()})
 			}
 			break
 		}
@@ -56,15 +94,15 @@ func CheckSegment(prog *isa.Program, seg *Segment, hashMode bool, intc emu.Inter
 
 	// Induction step: the end register file must equal the start state of
 	// the next segment as recorded by the main core.
-	if res.Insts == seg.Insts && !rcu.Compare(&seg.End, &hart.State) {
-		lsc.record(Mismatch{Kind: MismatchRegFile, EntryIdx: env.entryIdx})
+	if res.Insts == seg.Insts && !endOK(&hart.State) {
+		lsc.record(Mismatch{Kind: MismatchRegFile, EntryIdx: env.pos()})
 	}
-	if hashMode {
+	if rcu.HashMode() {
 		if got := rcu.Digest(); got != seg.Digest {
-			lsc.record(Mismatch{Kind: MismatchHash, EntryIdx: env.entryIdx})
+			lsc.record(Mismatch{Kind: MismatchHash, EntryIdx: env.pos()})
 		}
 	} else if res.Insts == seg.Insts && !env.Consumed() {
-		lsc.record(Mismatch{Kind: MismatchLogUnconsumed, EntryIdx: env.entryIdx})
+		lsc.record(Mismatch{Kind: MismatchLogUnconsumed, EntryIdx: env.pos()})
 	}
 
 	res.Mismatches = lsc.Mismatches

@@ -13,7 +13,11 @@ import (
 // its real data-cache hierarchy; a checker core's loads, atomics and
 // non-repeatable reads are served from the LSL$ at L1 hit latency and its
 // stores only access the load-store comparator, so a checker never
-// generates data-side traffic (section VII-A, "Instruction Fetch").
+// generates data-side traffic (section VII-A, "Instruction Fetch"). A
+// divergent checker additionally maintains a private memory image to
+// cross-check logged load data against, so its loads and stores pay the
+// real data-hierarchy cost like a main core — the price of the extra
+// coverage divergent checking buys.
 type Mode uint8
 
 // Core modes. Enums start at one.
@@ -21,6 +25,7 @@ const (
 	ModeInvalid Mode = iota
 	ModeMain
 	ModeChecker
+	ModeCheckerDivergent
 )
 
 // Core is the timing model of one core. Create with NewCore; not safe for
@@ -102,7 +107,7 @@ func NewCore(cfg Config, freqGHz float64, mode Mode) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if mode != ModeMain && mode != ModeChecker {
+	if mode != ModeMain && mode != ModeChecker && mode != ModeCheckerDivergent {
 		return nil, fmt.Errorf("cpu %q: invalid mode %d", cfg.Name, mode)
 	}
 	if freqGHz == 0 {
@@ -414,6 +419,8 @@ func (c *Core) loadDone(eff *emu.Effect, start float64) float64 {
 		// the hit is faster than a normal L1D access.
 		return start + float64((c.cfg.L1D.HitCycles+1)/2)
 	}
+	// ModeCheckerDivergent falls through: its loads cross-check a private
+	// memory image, so they pay the real hierarchy like a main core.
 	if eff.Class == isa.ClassNonRepeat {
 		// Timer/RNG reads: a system-register access, a few cycles.
 		return start + 3
@@ -448,7 +455,8 @@ func (c *Core) storeAtCommit(eff *emu.Effect, commit float64) {
 	if c.mode == ModeChecker {
 		// Checker stores only access the load-store comparator; there is
 		// one comparator per load/store unit, so no extra cost
-		// (section IV-E).
+		// (section IV-E). A divergent checker commits every store to its
+		// private image and falls through to the real store path.
 		return
 	}
 	for i := 0; i < eff.NMem; i++ {

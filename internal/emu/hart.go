@@ -44,6 +44,25 @@ type Interceptor interface {
 	Address(in isa.Inst, addr uint64) uint64
 }
 
+// DataInterceptor optionally extends Interceptor with a memory-path data
+// hook: LoadData may corrupt the value a load returns, after the
+// environment access but before the value is logged or written back —
+// modelling faults on the fill path (DRAM cell or row faults, bus
+// stuck-ats) that corrupt what the core observes without touching the
+// stored image.
+type DataInterceptor interface {
+	Interceptor
+	LoadData(in isa.Inst, addr uint64, v uint64) uint64
+}
+
+// loadData applies the DataInterceptor hook when intc implements it.
+func loadData(intc Interceptor, in isa.Inst, addr uint64, v uint64) uint64 {
+	if di, ok := intc.(DataInterceptor); ok {
+		return di.LoadData(in, addr, v)
+	}
+	return v
+}
+
 // Hart is one hardware thread: architectural state plus retired count.
 type Hart struct {
 	ID      int
@@ -195,6 +214,9 @@ func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Ef
 		if err != nil {
 			return h.fault(err)
 		}
+		if intc != nil {
+			v = loadData(intc, in, addr, v)
+		}
 		eff.addMem(MemLoad, addr, in.Size, v)
 		vInt, wrInt = v, true
 	case isa.OpFLD:
@@ -205,6 +227,9 @@ func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Ef
 		v, err := env.Load(addr, 8)
 		if err != nil {
 			return h.fault(err)
+		}
+		if intc != nil {
+			v = loadData(intc, in, addr, v)
 		}
 		eff.addMem(MemLoad, addr, 8, v)
 		vFP, wrFP = math.Float64frombits(v), true
@@ -242,6 +267,10 @@ func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Ef
 		if err != nil {
 			return h.fault(err)
 		}
+		if intc != nil {
+			v1 = loadData(intc, in, a1, v1)
+			v2 = loadData(intc, in, a2, v2)
+		}
 		eff.addMem(MemLoad, a1, in.Size, v1)
 		eff.addMem(MemLoad, a2, in.Size, v2)
 		vInt, wrInt = v1+v2, true
@@ -269,6 +298,9 @@ func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Ef
 		old, err := env.Swap(addr, rs2)
 		if err != nil {
 			return h.fault(err)
+		}
+		if intc != nil {
+			old = loadData(intc, in, addr, old)
 		}
 		eff.addMem(MemLoad, addr, 8, old)
 		eff.addMem(MemStore, addr, 8, rs2)

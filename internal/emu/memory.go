@@ -11,6 +11,7 @@ package emu
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // pageBits gives 4KiB pages.
@@ -158,6 +159,22 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 // PagesMapped returns the number of resident 4KiB pages, for footprint
 // assertions in tests.
 func (m *Memory) PagesMapped() int { return len(m.pages) }
+
+// ForEachPage calls fn for every resident page in ascending base-address
+// order with the page's 4KiB contents. The slice aliases live memory and
+// must not be retained. Deterministic iteration lets callers rebuild
+// translated images (the divergent checker's private-memory resync)
+// byte-identically run to run.
+func (m *Memory) ForEachPage(fn func(base uint64, data []byte)) {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		fn(pn<<pageBits, m.pages[pn][:])
+	}
+}
 
 func checkSize(size uint8) error {
 	switch size {

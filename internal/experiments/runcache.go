@@ -20,9 +20,12 @@ type runKey struct {
 }
 
 // cacheable reports whether a configuration's runs may be memoized. Runs
-// with a checker-side fault interceptor carry per-run mutable state (fire
-// counters on the injector), so every submission must execute privately.
-func cacheable(cfg *core.Config) bool { return cfg.CheckerInterceptor == nil }
+// with a fault interceptor on either side carry per-run mutable state
+// (fire counters on the injector), so every submission must execute
+// privately.
+func cacheable(cfg *core.Config) bool {
+	return cfg.CheckerInterceptor == nil && cfg.MainInterceptor == nil
+}
 
 // fingerprint hashes every semantically relevant field of a Config.
 // Pointer fields are dereferenced so two independently built but equal
@@ -46,6 +49,8 @@ var fingerprintedConfigFields = map[string]bool{
 	"Checkers":               true,
 	"Mode":                   true,
 	"HashMode":               true,
+	"CheckMode":              true,
+	"Divergent":              true,
 	"EagerWake":              true,
 	"TimeoutInsts":           true,
 	"DedicatedLSLBytes":      true,
@@ -64,6 +69,7 @@ var fingerprintedConfigFields = map[string]bool{
 	"L3HitNS":            true,
 	"DRAM":               true,
 	"CheckerInterceptor": true,
+	"MainInterceptor":    true,
 	"Recovery":           true,
 	"Seed":               true,
 	// Trace is observability only (segment trace ring): it never changes
@@ -115,6 +121,9 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	fmt.Fprintf(w, "mode=%v hash=%v eager=%v timeout=%v dedlsl=%v ckpt=%v/%v\n",
 		cfg.Mode, cfg.HashMode, cfg.EagerWake, cfg.TimeoutInsts,
 		cfg.DedicatedLSLBytes, cfg.CheckpointStallCycles, cfg.CheckpointDrains)
+	// Checking mode and the decorrelation parameters that shape the
+	// divergent variant.
+	fmt.Fprintf(w, "checkmode=%v divergent=%+v\n", cfg.CheckMode, cfg.Divergent)
 	// 11-12: interrupt and sampling policy.
 	fmt.Fprintf(w, "irq=%v sample=%v\n", cfg.InterruptIntervalInsts, cfg.SamplePeriod)
 	// 13-15: mesh, layout (dereferenced), LSL traffic accounting.
@@ -125,8 +134,8 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	// 16-18: shared LLC and memory.
 	fmt.Fprintf(w, "l3=%+v hit=%v dram=%+v\n", cfg.L3, cfg.L3HitNS, cfg.DRAM)
 	// 19: interceptor presence (non-nil configs are never cached, but the
-	// bit keeps the fingerprint total and honest).
-	fmt.Fprintf(w, "intc=%v\n", cfg.CheckerInterceptor != nil)
+	// bits keep the fingerprint total and honest).
+	fmt.Fprintf(w, "intc=%v mainintc=%v\n", cfg.CheckerInterceptor != nil, cfg.MainInterceptor != nil)
 	// 20-22: recovery policy and workload seed. Recovery.Quarantine rides
 	// along inside %+v.
 	fmt.Fprintf(w, "recovery=%+v seed=%v\n", cfg.Recovery, cfg.Seed)

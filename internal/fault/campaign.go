@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"paraverser/internal/core"
@@ -40,25 +41,70 @@ type CampaignConfig struct {
 	// Configs are the checker-system templates trials sample from; each
 	// must have a checker pool. Recovery is forced on.
 	Configs []core.Config
-	// TransientFrac and LSQFrac set the fault-type mix; the remainder
-	// are stuck-at functional-unit faults. Both default when zero
-	// (0.25 transient, 0.2 LSQ).
-	TransientFrac float64
-	LSQFrac       float64
+	// Mix sets the fault-type fractions. A nil Mix selects DefaultMix;
+	// a non-nil Mix is used exactly as given (an explicit zero fraction
+	// genuinely disables that fault type), so defaulting is unambiguous.
+	Mix *FaultMix
 }
 
-func (c *CampaignConfig) withDefaults() CampaignConfig {
-	out := *c
-	if out.Workers <= 0 {
-		out.Workers = runtime.GOMAXPROCS(0)
+// FaultMix is the categorical fault-type distribution one campaign draws
+// from. Each field is the fraction of trials injecting that type; the
+// remainder (1 - sum) are stuck-at faults on functional-unit outputs.
+type FaultMix struct {
+	// Transient: a one-shot bit flip on a functional-unit output.
+	Transient float64
+	// LSQ: a stuck-at bit on load/store effective addresses.
+	LSQ float64
+	// StuckAddr: a stuck address bit on the shared memory path
+	// (common-mode; injected on the main core's traffic).
+	StuckAddr float64
+	// DRAMRow: a stuck cell bit in one DRAM row (common-mode).
+	DRAMRow float64
+}
+
+// DefaultMix is the fault-type distribution campaigns use when none is
+// given.
+func DefaultMix() FaultMix {
+	return FaultMix{Transient: 0.25, LSQ: 0.20, StuckAddr: 0.05, DRAMRow: 0.05}
+}
+
+// Validate rejects fractions outside [0, 1] or summing past 1, which
+// would silently skew RandomFault's categorical draw.
+func (m *FaultMix) Validate() error {
+	fracs := []struct {
+		name string
+		v    float64
+	}{
+		{"Transient", m.Transient},
+		{"LSQ", m.LSQ},
+		{"StuckAddr", m.StuckAddr},
+		{"DRAMRow", m.DRAMRow},
 	}
-	if out.TransientFrac == 0 {
-		out.TransientFrac = 0.25
+	sum := 0.0
+	for _, f := range fracs {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: mix fraction %s = %v outside [0, 1]", f.name, f.v)
+		}
+		sum += f.v
 	}
-	if out.LSQFrac == 0 {
-		out.LSQFrac = 0.2
+	if sum > 1 {
+		return fmt.Errorf("fault: mix fractions sum to %v > 1", sum)
 	}
-	return out
+	return nil
+}
+
+// Normalize validates the campaign's fault-type mix and fills the
+// remaining defaults in place. A nil Mix becomes DefaultMix; an explicit
+// Mix must pass FaultMix.Validate.
+func (c *CampaignConfig) Normalize() error {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Mix == nil {
+		m := DefaultMix()
+		c.Mix = &m
+	}
+	return c.Mix.Validate()
 }
 
 // Validate checks the campaign parameters.
@@ -138,7 +184,9 @@ func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults()
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
 
 	trials := make([]Trial, cfg.Trials)
 	for i := range trials {
@@ -194,54 +242,89 @@ func genTrial(cfg *CampaignConfig, i int) Trial {
 	for class, p := range cfg.Configs[t.Config].Checkers[0].CPU.FUs {
 		fu[class] = p.Count
 	}
-	t.Fault = RandomFault(rng, fu, cfg.TransientFrac, cfg.LSQFrac)
+	prog := cfg.Workloads[t.Workload].Prog
+	t.Fault = RandomFault(rng, fu, *cfg.Mix, prog.DataBase, isa.DataSpan(prog))
 	return t
 }
 
-// RandomFault draws one fault from the campaign mix: a transient
-// single-bit flip with probability transientFrac, a stuck-at LSQ-address
-// fault with probability lsqFrac, otherwise a stuck-at fault on a
-// functional-unit output.
-func RandomFault(rng *rand.Rand, fuCounts map[isa.Class]int, transientFrac, lsqFrac float64) Fault {
-	f := Fault{Bit: uint(rng.Intn(64))}
+// RandomFault draws one fault from the campaign mix: the categorical
+// fractions of mix select transient, LSQ-address, stuck-address-bit or
+// DRAM-row faults; the remainder are stuck-at faults on functional-unit
+// outputs. dataBase and dataSpan locate the sampled program's data
+// segment so memory-path faults land on rows the workload actually
+// touches.
+func RandomFault(rng *rand.Rand, fuCounts map[isa.Class]int, mix FaultMix, dataBase, dataSpan uint64) Fault {
+	r := rng.Float64()
 	switch {
-	case rng.Float64() < transientFrac:
-		f.Kind = Transient
-		// Fire on an early-ish exercise of the unit so the flip lands
-		// inside the detection horizon.
-		f.TransientAt = 1 + uint64(rng.Intn(200))
-	case rng.Intn(2) == 0:
-		f.Kind = StuckAt1
-	default:
-		f.Kind = StuckAt0
-	}
-	if rng.Float64() < lsqFrac {
-		f.LSQ = true
+	case r < mix.StuckAddr:
+		return Fault{
+			Kind: StuckAddr,
+			// Bits 12–20: above the page offset, so a page-aligned layout
+			// shift maps the bit differently between lanes, and low
+			// enough that the alias stays near mapped memory.
+			Bit:    12 + uint(rng.Intn(9)),
+			Stuck1: rng.Intn(2) == 0,
+		}
+	case r < mix.StuckAddr+mix.DRAMRow:
+		const rowShift = 12
+		span := dataSpan
+		if span == 0 {
+			span = 1
+		}
+		return Fault{
+			Kind:     DRAMRow,
+			RowShift: rowShift,
+			Row:      (dataBase + uint64(rng.Int63n(int64(span)))) >> rowShift,
+			Bit:      uint(rng.Intn(64)),
+			Stuck1:   rng.Intn(2) == 0,
+		}
+	case r < mix.StuckAddr+mix.DRAMRow+mix.Transient:
+		f := Fault{
+			Kind: Transient,
+			Bit:  uint(rng.Intn(64)),
+			// Fire on an early-ish exercise of the unit so the flip lands
+			// inside the detection horizon.
+			TransientAt: 1 + uint64(rng.Intn(200)),
+		}
+		f.Class, f.Units, f.Unit = randomFU(rng, fuCounts)
+		return f
+	case r < mix.StuckAddr+mix.DRAMRow+mix.Transient+mix.LSQ:
+		f := Fault{LSQ: true}
+		if rng.Intn(2) == 0 {
+			f.Kind = StuckAt1
+		} else {
+			f.Kind = StuckAt0
+		}
 		// Keep address faults in the low bits so they stay inside mapped
 		// data and perturb behaviour rather than vanishing into unmapped
 		// space.
 		f.Bit = uint(rng.Intn(16))
 		return f
 	}
+	f := Fault{Bit: uint(rng.Intn(64))}
+	if rng.Intn(2) == 0 {
+		f.Kind = StuckAt1
+	} else {
+		f.Kind = StuckAt0
+	}
+	f.Class, f.Units, f.Unit = randomFU(rng, fuCounts)
+	return f
+}
+
+// randomFU picks a functional-unit class and unit instance
+// deterministically (map iteration order is randomized; sort first).
+func randomFU(rng *rand.Rand, fuCounts map[isa.Class]int) (isa.Class, int, int) {
 	classes := make([]isa.Class, 0, len(fuCounts))
 	for class := range fuCounts {
 		classes = append(classes, class)
 	}
-	// Map iteration order is random; sort for determinism.
-	for i := 1; i < len(classes); i++ {
-		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
-			classes[j], classes[j-1] = classes[j-1], classes[j]
-		}
-	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	class := classes[rng.Intn(len(classes))]
 	units := fuCounts[class]
 	if units <= 0 {
 		units = 1
 	}
-	f.Class = class
-	f.Units = units
-	f.Unit = rng.Intn(units)
-	return f
+	return class, units, rng.Intn(units)
 }
 
 func runTrial(cfg *CampaignConfig, t Trial) (TrialResult, error) {
@@ -259,11 +342,18 @@ func runTrial(cfg *CampaignConfig, t Trial) (TrialResult, error) {
 	if err != nil {
 		return out, fmt.Errorf("fault: trial %d: %w", t.Index, err)
 	}
-	sys.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
-		if ckID == t.CheckerID {
-			return inj
+	if t.Fault.CommonMode() {
+		// Shared-memory-path faults afflict the main core's traffic; a
+		// lockstep checker replays the identical corruption and cannot
+		// see it, a divergent checker's shifted layout can.
+		sys.MainInterceptor = func(int) emu.Interceptor { return inj }
+	} else {
+		sys.CheckerInterceptor = func(_, ckID int) emu.Interceptor {
+			if ckID == t.CheckerID {
+				return inj
+			}
+			return nil
 		}
-		return nil
 	}
 
 	res, err := core.Run(sys, []core.Workload{cfg.Workloads[t.Workload]})

@@ -8,6 +8,7 @@ import (
 	"paraverser/internal/asm"
 	"paraverser/internal/core"
 	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
 	"paraverser/internal/isa"
 	"paraverser/internal/obs"
 )
@@ -122,7 +123,10 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // implicated checkers, and report a coherent latency distribution.
 func TestCampaignOutcomesAndRecovery(t *testing.T) {
 	cfg := campaignConfig(12, 4)
-	cfg.TransientFrac = 0.1
+	// Persistent-fault-heavy: explicit zeros disable the common-mode
+	// kinds (which lockstep configs cannot detect) rather than falling
+	// back to DefaultMix.
+	cfg.Mix = &FaultMix{Transient: 0.1, LSQ: 0.2}
 	res, err := RunCampaign(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -189,5 +193,107 @@ func TestClassifySDC(t *testing.T) {
 			t.Errorf("ClassifySDC(fires=%d, acts=%d, det=%v) = %v, want %v",
 				c.fires, c.acts, c.detected, got, c.want)
 		}
+	}
+}
+
+// divergentCampaignConfig mirrors campaignConfig with a single
+// divergent-mode system and a mix weighted toward the common-mode
+// memory-path faults divergent checking exists to catch.
+func divergentCampaignConfig(trials, workers int) CampaignConfig {
+	div := core.DefaultConfig(core.CheckerSpec{CPU: cpu.A510(), FreqGHz: 2.0, Count: 3})
+	div.Recovery = core.DefaultRecovery()
+	div.CheckMode = core.CheckDivergent
+	return CampaignConfig{
+		Seed:    2025,
+		Trials:  trials,
+		Workers: workers,
+		Workloads: []core.Workload{
+			{Name: "campaign-a", Prog: campaignProgram(6000)},
+			{Name: "campaign-b", Prog: campaignProgram(9000)},
+		},
+		Configs: []core.Config{div},
+		Mix:     &FaultMix{Transient: 0.15, LSQ: 0.15, StuckAddr: 0.25, DRAMRow: 0.25},
+	}
+}
+
+// TestDivergentCampaignDeterministicAcrossWorkers extends the
+// worker-count determinism contract to divergent mode: the
+// canonicalized-trace comparison must produce byte-identical verdict
+// tables and merged metrics whether trials run serially or one per CPU.
+// Under -race this doubles as the data-race check on the divergent
+// check path.
+func TestDivergentCampaignDeterministicAcrossWorkers(t *testing.T) {
+	serial, err := RunCampaign(divergentCampaignConfig(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunCampaign(divergentCampaignConfig(8, runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TrialTable() != parallel.TrialTable() {
+		t.Errorf("divergent trial tables diverge across worker counts:\n%s\nvs\n%s",
+			serial.TrialTable(), parallel.TrialTable())
+	}
+	if serial.Table() != parallel.Table() {
+		t.Error("divergent summary tables diverge across worker counts")
+	}
+	if sm, pm := serial.RunMetrics().String(), parallel.RunMetrics().String(); sm != pm {
+		t.Errorf("divergent campaign metrics diverge across worker counts:\n%s\nvs\n%s", sm, pm)
+	}
+	if serial.RunMetrics().SegmentsCheckedDivergent == 0 {
+		t.Error("divergent campaign never took the divergent check path")
+	}
+}
+
+// TestDivergentDetectsCommonModeEscape is the acceptance demonstration
+// of the DME tentpole: a stuck address bit on the main core's memory
+// path escapes lockstep checking as an undetected SDC (the checker
+// replays the identical corruption from the log), while the divergent
+// configuration's private canonical image contradicts the corrupted
+// load data and detects it.
+func TestDivergentDetectsCommonModeEscape(t *testing.T) {
+	fault := Fault{Kind: StuckAddr, Bit: 13}
+	ws := []core.Workload{{Name: "campaign-a", Prog: campaignProgram(6000)}}
+
+	run := func(mode core.CheckMode) (*core.Result, *Injector) {
+		inj, err := NewInjector(fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(core.CheckerSpec{CPU: cpu.A510(), FreqGHz: 2.0, Count: 3})
+		cfg.Recovery = core.DefaultRecovery()
+		cfg.CheckMode = mode
+		cfg.MainInterceptor = func(int) emu.Interceptor { return inj }
+		res, err := core.Run(cfg, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, inj
+	}
+
+	lockRes, lockInj := run(core.CheckLockstep)
+	if lockInj.Activations == 0 {
+		t.Fatal("stuck-addr fault never activated; the workload does not exercise bit 13")
+	}
+	if d := lockRes.Lanes[0].Detections; d != 0 {
+		t.Fatalf("lockstep detected a common-mode main-path fault (%d detections); the escape premise is broken", d)
+	}
+	if got := ClassifySDC(lockInj, false); got != UndetectedSDC {
+		t.Fatalf("lockstep outcome %v, want undetected-sdc", got)
+	}
+
+	divRes, divInj := run(core.CheckDivergent)
+	if divInj.Activations == 0 {
+		t.Fatal("fault inactive under the divergent run")
+	}
+	if divRes.Lanes[0].Detections == 0 {
+		t.Fatal("divergent checking missed the common-mode fault lockstep escaped")
+	}
+	if divRes.Metrics.DivergentDataMismatches == 0 {
+		t.Error("detection did not come from the private-image cross-check")
+	}
+	if got := ClassifySDC(divInj, true); got != Detected {
+		t.Fatalf("divergent outcome %v, want detected", got)
 	}
 }

@@ -1,3 +1,5 @@
+//paralint:deterministic
+
 // Package fault implements the hard- and soft-error injection of
 // section VII-B, following the standard model of Li et al. [53]: a
 // single-bit stuck-at fault on the output of one functional unit
@@ -28,6 +30,22 @@ const (
 	StuckAt1
 	// Transient flips one bit exactly once (a soft error).
 	Transient
+	// StuckAddr is a stuck physical address bit on the shared memory
+	// path, downstream of the core's AGU: accesses whose intended bit
+	// differs from the stuck level are silently served from the aliased
+	// location. The logged (AGU-computed) address is correct and the
+	// returned data is consistent across identical replays, so lockstep
+	// checking cannot see it; a layout-shifted divergent lane maps the
+	// bit differently and diverges.
+	StuckAddr
+	// DRAMRow is a stuck cell bit confined to one DRAM row: loads from
+	// that row read the bit at the stuck level, idempotently. Like
+	// StuckAddr, the corruption is invisible to identical replay but
+	// lands on different program data under a shifted layout.
+	DRAMRow
+
+	// numKinds is the exhaustiveness sentinel for tests; keep it last.
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -38,6 +56,10 @@ func (k Kind) String() string {
 		return "stuck-at-1"
 	case Transient:
 		return "transient"
+	case StuckAddr:
+		return "stuck-addr"
+	case DRAMRow:
+		return "dram-row"
 	default:
 		return "invalid"
 	}
@@ -64,9 +86,28 @@ type Fault struct {
 	// TransientAt is the activation ordinal at which a Transient fault
 	// fires.
 	TransientAt uint64
+	// Stuck1 selects the stuck level: for StuckAddr the level of the
+	// stuck address bit, for DRAMRow the level of the stuck cell bit.
+	Stuck1 bool
+	// RowShift and Row locate a DRAMRow fault: addresses with
+	// addr>>RowShift == Row hit the faulty row.
+	RowShift uint
+	Row      uint64
 }
 
+// CommonMode reports whether the fault lives on the shared memory path
+// (rather than in one core): it afflicts whatever lane's accesses reach
+// the faulty structure, so the campaign injects it on the main core's
+// memory traffic instead of a checker.
+func (f Fault) CommonMode() bool { return f.Kind == StuckAddr || f.Kind == DRAMRow }
+
 func (f Fault) String() string {
+	switch f.Kind {
+	case StuckAddr:
+		return fmt.Sprintf("%s bit %d stuck at %d", f.Kind, f.Bit, b2i(f.Stuck1))
+	case DRAMRow:
+		return fmt.Sprintf("%s row %#x cell bit %d stuck at %d", f.Kind, f.Row, f.Bit, b2i(f.Stuck1))
+	}
 	where := fmt.Sprintf("class %d unit %d/%d", f.Class, f.Unit, f.Units)
 	if f.LSQ {
 		where = "lsq address"
@@ -74,17 +115,38 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%s bit %d on %s", f.Kind, f.Bit, where)
 }
 
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Validate checks the descriptor.
 func (f Fault) Validate() error {
-	if f.Kind == KindInvalid || f.Kind > Transient {
+	if f.Kind == KindInvalid || f.Kind >= numKinds {
 		return fmt.Errorf("fault: invalid kind %d", f.Kind)
 	}
 	if f.Bit > 63 {
 		return fmt.Errorf("fault: bit %d out of range", f.Bit)
 	}
-	if !f.LSQ {
-		if f.Units <= 0 || f.Unit < 0 || f.Unit >= f.Units {
-			return fmt.Errorf("fault: unit %d/%d invalid", f.Unit, f.Units)
+	switch f.Kind {
+	case StuckAddr:
+		// Below the page offset every layout maps the bit identically, so
+		// the fault would be structurally undetectable even in divergent
+		// mode; keep descriptors honest about what they model.
+		if f.Bit < 12 {
+			return fmt.Errorf("fault: stuck-addr bit %d below the page offset", f.Bit)
+		}
+	case DRAMRow:
+		if f.RowShift < 6 || f.RowShift > 30 {
+			return fmt.Errorf("fault: dram-row shift %d outside [6, 30]", f.RowShift)
+		}
+	default:
+		if !f.LSQ {
+			if f.Units <= 0 || f.Unit < 0 || f.Unit >= f.Units {
+				return fmt.Errorf("fault: unit %d/%d invalid", f.Unit, f.Units)
+			}
 		}
 	}
 	return nil
@@ -151,7 +213,7 @@ func (in *Injector) classMatches(class isa.Class) bool {
 
 // Result implements emu.Interceptor.
 func (in *Injector) Result(_ isa.Inst, class isa.Class, _ bool, v uint64) uint64 {
-	if in.F.LSQ || !in.classMatches(class) {
+	if in.F.CommonMode() || in.F.LSQ || !in.classMatches(class) {
 		return v
 	}
 	if in.steerUnit() != in.F.Unit {
@@ -162,10 +224,87 @@ func (in *Injector) Result(_ isa.Inst, class isa.Class, _ bool, v uint64) uint64
 
 // Address implements emu.Interceptor.
 func (in *Injector) Address(_ isa.Inst, addr uint64) uint64 {
-	if !in.F.LSQ {
+	if in.F.CommonMode() || !in.F.LSQ {
 		return addr
 	}
 	return in.apply(addr)
+}
+
+var _ emu.DataInterceptor = (*Injector)(nil)
+
+// loadSize is the architectural width of a load's result.
+func loadSize(inst isa.Inst) uint8 {
+	if inst.Op == isa.OpFLD || inst.Op == isa.OpSWP {
+		return 8
+	}
+	if inst.Size == 0 {
+		return 8
+	}
+	return inst.Size
+}
+
+func truncSize(v uint64, size uint8) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+// mix64 is a splitmix64 finalizer: the deterministic stand-in for the
+// contents of an aliased memory location the simulator never modelled.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// LoadData implements emu.DataInterceptor: the shared-memory-path fault
+// kinds corrupt what a load returns, after the environment access but
+// before the value is logged — the logged address stays the intended
+// one, so identical replay re-reads the identical corruption and the
+// fault escapes lockstep checking.
+func (in *Injector) LoadData(inst isa.Inst, addr uint64, v uint64) uint64 {
+	switch in.F.Kind {
+	case StuckAddr:
+		bit := uint64(1) << in.F.Bit
+		level := uint64(0)
+		if in.F.Stuck1 {
+			level = bit
+		}
+		if addr&bit == level {
+			return v // the intended address maps to itself
+		}
+		in.Fires++
+		// The access is served from the aliased location; its content is
+		// modelled as a deterministic function of that location,
+		// truncated to the access width, so repeated reads agree.
+		corrupted := truncSize(mix64((addr&^bit)|level), loadSize(inst))
+		if corrupted != v {
+			in.Activations++
+		}
+		return corrupted
+	case DRAMRow:
+		if addr>>in.F.RowShift != in.F.Row {
+			return v
+		}
+		in.Fires++
+		var corrupted uint64
+		if in.F.Stuck1 {
+			corrupted = v | 1<<in.F.Bit
+		} else {
+			corrupted = v &^ (1 << in.F.Bit)
+		}
+		// A cell bit beyond the access width never reaches the core:
+		// circuit-level masking.
+		corrupted = truncSize(corrupted, loadSize(inst))
+		if corrupted != v {
+			in.Activations++
+		}
+		return corrupted
+	}
+	return v
 }
 
 // Campaign generates n random hard faults over the functional units of a

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"paraverser/internal/isa"
+)
+
+// TestKindExhaustive guards the kind enum: every declared kind renders a
+// real name and is reachable from RandomFault under a mix that enables
+// every category. Adding a kind without wiring it into both trips here.
+func TestKindExhaustive(t *testing.T) {
+	for k := KindInvalid + 1; k < numKinds; k++ {
+		if k.String() == "invalid" {
+			t.Errorf("kind %d has no String case", k)
+		}
+	}
+	if KindInvalid.String() != "invalid" || numKinds.String() != "invalid" {
+		t.Error("sentinel kinds must render as invalid")
+	}
+
+	mix := FaultMix{Transient: 0.25, LSQ: 0.2, StuckAddr: 0.15, DRAMRow: 0.15}
+	fu := map[isa.Class]int{isa.ClassIntALU: 4, isa.ClassFPAdd: 2}
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[Kind]bool)
+	for i := 0; i < 4096; i++ {
+		f := RandomFault(rng, fu, mix, isa.DefaultDataBase, 64<<10)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("draw %d: invalid fault %v: %v", i, f, err)
+		}
+		seen[f.Kind] = true
+	}
+	for k := KindInvalid + 1; k < numKinds; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v never drawn by RandomFault", k)
+		}
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	bad := []FaultMix{
+		{Transient: -0.1},
+		{LSQ: 1.5},
+		{StuckAddr: -1},
+		{DRAMRow: 2},
+		{Transient: 0.5, LSQ: 0.3, StuckAddr: 0.2, DRAMRow: 0.1}, // sums to 1.1
+	}
+	for _, m := range bad {
+		cfg := CampaignConfig{Mix: &m}
+		if err := cfg.Normalize(); err == nil {
+			t.Errorf("mix %+v accepted", m)
+		}
+	}
+
+	// nil Mix defaults; explicit zero mix is legal and stays zero.
+	cfg := CampaignConfig{}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *cfg.Mix != DefaultMix() {
+		t.Errorf("nil mix normalized to %+v, want DefaultMix", *cfg.Mix)
+	}
+	zero := FaultMix{}
+	cfg = CampaignConfig{Mix: &zero}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if *cfg.Mix != (FaultMix{}) {
+		t.Errorf("explicit zero mix rewritten to %+v", *cfg.Mix)
+	}
+}
+
+// TestStuckAddrLoadData pins the stuck-address model: accesses whose bit
+// already sits at the stuck level pass through untouched; aliased
+// accesses return wrong but idempotent data, and the logged address is
+// never altered (that is what lets the fault escape identical replay).
+func TestStuckAddrLoadData(t *testing.T) {
+	inj, err := NewInjector(Fault{Kind: StuckAddr, Bit: 13, Stuck1: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := isa.Inst{Op: isa.OpLD, Size: 8}
+
+	clean := uint64(isa.DefaultDataBase) // bit 13 clear: maps to itself
+	if got := inj.LoadData(ld, clean, 42); got != 42 {
+		t.Errorf("unaliased load corrupted: %#x", got)
+	}
+	if inj.Fires != 0 {
+		t.Errorf("unaliased load fired the fault")
+	}
+
+	aliased := uint64(isa.DefaultDataBase) | 1<<13
+	a := inj.LoadData(ld, aliased, 42)
+	b := inj.LoadData(ld, aliased, 42)
+	if a == 42 {
+		t.Error("aliased load returned the true value")
+	}
+	if a != b {
+		t.Errorf("stuck-addr corruption not idempotent: %#x vs %#x", a, b)
+	}
+	if inj.Fires != 2 || inj.Activations != 2 {
+		t.Errorf("fires=%d activations=%d, want 2/2", inj.Fires, inj.Activations)
+	}
+	if got := inj.Address(ld, aliased); got != aliased {
+		t.Errorf("stuck-addr fault rewrote the logged address: %#x", got)
+	}
+
+	// Narrow loads see the corruption truncated to their width.
+	narrow := inj.LoadData(isa.Inst{Op: isa.OpLD, Size: 1}, aliased, 0x7)
+	if narrow > 0xFF {
+		t.Errorf("1-byte load returned %#x", narrow)
+	}
+}
+
+// TestDRAMRowLoadData pins the row-fault model: only the faulty row is
+// affected, corruption is the idempotent stuck cell bit, and a cell bit
+// beyond the access width is masked at the circuit level.
+func TestDRAMRowLoadData(t *testing.T) {
+	row := uint64(isa.DefaultDataBase) >> 12
+	inj, err := NewInjector(Fault{Kind: DRAMRow, RowShift: 12, Row: row, Bit: 3, Stuck1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := isa.Inst{Op: isa.OpLD, Size: 8}
+
+	other := (row + 1) << 12
+	if got := inj.LoadData(ld, other, 0); got != 0 || inj.Fires != 0 {
+		t.Errorf("off-row load touched: v=%#x fires=%d", got, inj.Fires)
+	}
+
+	hit := row << 12
+	if got := inj.LoadData(ld, hit, 0); got != 1<<3 {
+		t.Errorf("stuck-at-1 cell read %#x, want %#x", got, 1<<3)
+	}
+	// Value already holding the stuck level: fires but masked.
+	pre := inj.Activations
+	if got := inj.LoadData(ld, hit, 1<<3); got != 1<<3 {
+		t.Errorf("idempotence broken: %#x", got)
+	}
+	if inj.Activations != pre {
+		t.Error("masked read counted as activation")
+	}
+
+	// A cell bit beyond the access width never reaches the core.
+	wide, err := NewInjector(Fault{Kind: DRAMRow, RowShift: 12, Row: row, Bit: 40, Stuck1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wide.LoadData(isa.Inst{Op: isa.OpLD, Size: 2}, hit, 0x1234); got != 0x1234 {
+		t.Errorf("out-of-width cell bit visible: %#x", got)
+	}
+	if wide.Fires != 1 || wide.Activations != 0 {
+		t.Errorf("fires=%d activations=%d, want 1/0", wide.Fires, wide.Activations)
+	}
+}
+
+func TestCommonModeValidation(t *testing.T) {
+	if err := (Fault{Kind: StuckAddr, Bit: 5}).Validate(); err == nil {
+		t.Error("stuck-addr bit below page offset accepted")
+	}
+	if err := (Fault{Kind: DRAMRow, RowShift: 40, Row: 1}).Validate(); err == nil {
+		t.Error("dram-row shift 40 accepted")
+	}
+	if !(Fault{Kind: StuckAddr, Bit: 13}).CommonMode() || !(Fault{Kind: DRAMRow, RowShift: 12}).CommonMode() {
+		t.Error("memory-path kinds not common-mode")
+	}
+	if (Fault{Kind: Transient, Units: 1}).CommonMode() {
+		t.Error("transient marked common-mode")
+	}
+}

@@ -3,6 +3,7 @@ package verify_test
 import (
 	"testing"
 
+	"paraverser/internal/asm"
 	"paraverser/internal/isa"
 	"paraverser/internal/isa/verify"
 	"paraverser/internal/workload/gap"
@@ -61,3 +62,54 @@ func TestShippedWorkloadsVerifyClean(t *testing.T) {
 }
 
 func first(p *isa.Program, _ uint64) *isa.Program { return p }
+
+// shippedPrograms regenerates the full shipped-workload set at small
+// scale for the verification gates.
+func shippedPrograms(t *testing.T) []*isa.Program {
+	t.Helper()
+	var progs []*isa.Program
+	for _, p := range spec.Profiles() {
+		prog, err := p.Build(64)
+		if err != nil {
+			t.Fatalf("spec %s: %v", p.Name, err)
+		}
+		progs = append(progs, prog)
+	}
+	g := gap.Uniform(64, 4, 1)
+	progs = append(progs,
+		first(gap.BFS(g, 0)), first(gap.PageRank(g, 3)), first(gap.SSSP(g, 0)),
+		first(gap.CC(g)), first(gap.TC(g)), first(gap.BC(g, 0)))
+	for _, k := range parsec.Kernels(0) {
+		progs = append(progs, k.Prog)
+	}
+	progs = append(progs, parsec.BlackscholesThreads(16, 1))
+	return progs
+}
+
+// TestDecorrelatedVariantsVerifyClean is the divergent-mode half of the
+// "Verify workloads" CI gate: every decorrelated variant of every
+// shipped workload must itself pass the static verifier with zero
+// findings AND prove structurally equivalent to its original. A variant
+// that failed either would silently disqualify the workload from
+// divergent checking.
+func TestDecorrelatedVariantsVerifyClean(t *testing.T) {
+	for _, prog := range shippedPrograms(t) {
+		v, err := asm.Decorrelate(prog, asm.DecorrelateOptions{})
+		if err != nil {
+			t.Errorf("decorrelate %q: %v", prog.Name, err)
+			continue
+		}
+		rep := verify.Verify(v.Prog)
+		if err := rep.Err(); err != nil {
+			t.Errorf("variant of %q: %v", prog.Name, err)
+		}
+		for _, f := range rep.Findings {
+			if f.Sev == verify.SevWarn {
+				t.Errorf("variant of %q: unexpected warning: %s", prog.Name, f)
+			}
+		}
+		if err := verify.EquivalentVariant(prog, v.Prog, &v.Map); err != nil {
+			t.Errorf("variant of %q fails equivalence: %v", prog.Name, err)
+		}
+	}
+}

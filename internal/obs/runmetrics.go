@@ -27,6 +27,10 @@ type RunMetrics struct {
 	SegmentsReplayed   uint64 // recovery re-replays on alternate checkers
 	ShadowChecks       uint64 // probation shadow checks
 
+	// Divergent-mode checking (decorrelated variant replay).
+	SegmentsCheckedDivergent uint64 // checks run against the decorrelated variant
+	DivergentDataMismatches  uint64 // logged load data contradicted the private image
+
 	// Instructions.
 	Insts        uint64
 	InstsChecked uint64
@@ -81,6 +85,8 @@ func (m *RunMetrics) Merge(o *RunMetrics) {
 	m.SegmentsMismatched += o.SegmentsMismatched
 	m.SegmentsReplayed += o.SegmentsReplayed
 	m.ShadowChecks += o.ShadowChecks
+	m.SegmentsCheckedDivergent += o.SegmentsCheckedDivergent
+	m.DivergentDataMismatches += o.DivergentDataMismatches
 	m.Insts += o.Insts
 	m.InstsChecked += o.InstsChecked
 	m.StallNS += o.StallNS
@@ -119,6 +125,8 @@ func (m *RunMetrics) AddTo(b *SnapshotBuilder, prefix string) {
 	b.Counter(prefix+"segments_mismatched_total", "checks that raised a detection", m.SegmentsMismatched)
 	b.Counter(prefix+"segments_replayed_total", "recovery re-replays on alternate checkers", m.SegmentsReplayed)
 	b.Counter(prefix+"probation_shadow_checks_total", "probation shadow checks", m.ShadowChecks)
+	b.Counter(prefix+"segments_checked_divergent_total", "checks run against the decorrelated variant", m.SegmentsCheckedDivergent)
+	b.Counter(prefix+"divergent_data_mismatches_total", "logged load data contradicted the divergent private image", m.DivergentDataMismatches)
 	b.Counter(prefix+"insts_total", "main-core instructions executed", m.Insts)
 	b.Counter(prefix+"insts_checked_total", "main-core instructions verified", m.InstsChecked)
 	b.Counter(prefix+"main_stall_ns_total", "main-core stall waiting for checkers (ns)", m.StallNS)
@@ -151,10 +159,11 @@ func (m *RunMetrics) String() string {
 	if m == nil {
 		return "<nil>"
 	}
-	return fmt.Sprintf("seg=%d/%d/%d deg=%d mm=%d rep=%d shadow=%d insts=%d/%d "+
+	return fmt.Sprintf("seg=%d/%d/%d deg=%d mm=%d rep=%d shadow=%d div=%d/%d insts=%d/%d "+
 		"stall=%d ckpt=%d busy=%d window=%d q=%d/%d/%d/%d depth=%s lat=%s fuM=%v fuC=%v",
 		m.Segments, m.SegmentsChecked, m.SegmentsUnchecked, m.SegmentsDegraded,
-		m.SegmentsMismatched, m.SegmentsReplayed, m.ShadowChecks, m.Insts, m.InstsChecked,
+		m.SegmentsMismatched, m.SegmentsReplayed, m.ShadowChecks,
+		m.SegmentsCheckedDivergent, m.DivergentDataMismatches, m.Insts, m.InstsChecked,
 		m.StallNS, m.CheckpointNS, m.CheckBusyNS, m.CheckWindowNS,
 		m.Quarantines, m.ProbationEntries, m.Readmissions, m.Retirements,
 		m.CheckQueueDepth.String(), m.CheckLatencyNS.String(), m.FUIssueMain, m.FUIssueChecker)

@@ -82,7 +82,19 @@ func emitBarrier(b *asm.Builder, tag string, rLock, rCnts, rPhaseOff isa.Reg, rT
 // rational-polynomial normal-CDF approximation (fdiv/fsqrt-heavy FP, no
 // sharing). Results land in a float64 array: thread 0 writes [0,n),
 // thread 1 writes [n,2n).
-func Blackscholes(n int) *isa.Program {
+func Blackscholes(n int) *isa.Program { return BlackscholesThreads(n, 2) }
+
+// BlackscholesThreads builds the kernel with a configurable hart count
+// (1 or 2) over the same data layout: thread t still prices its own
+// [t*n, (t+1)*n) slice, so the single-hart build simply leaves slice 1
+// unwritten. One hart is what the divergent checking mode requires —
+// its private canonical memory image cannot track another hart's
+// stores — so the suite keeps a PARSEC-representative kernel available
+// to divergent-mode experiments.
+func BlackscholesThreads(n, threads int) *isa.Program {
+	if threads < 1 || threads > 2 {
+		panic(fmt.Sprintf("parsec: blackscholes supports 1 or 2 threads, got %d", threads))
+	}
 	b := asm.New("parsec.blackscholes")
 	spot := b.Reserve(2 * n * 8)
 	for i := 0; i < 2*n; i++ {
@@ -134,8 +146,9 @@ func Blackscholes(n int) *isa.Program {
 		b.Label(pfx + "done")
 		b.Halt()
 	}
-	thread(0)
-	thread(1)
+	for tid := 0; tid < threads; tid++ {
+		thread(tid)
+	}
 	return b.MustBuild()
 }
 
