@@ -44,6 +44,18 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// defaultTimeShards picks the default speculation depth: deep enough to
+// keep a producer goroutine ahead of the timing stitch, but 1 (inline,
+// no producer goroutine, no fallback snapshots) when there is no spare
+// CPU to run the producer on — results are identical at any depth, so
+// the default only tunes wall clock.
+func defaultTimeShards() int {
+	if n := runtime.GOMAXPROCS(0); n < 2 {
+		return 1
+	}
+	return 4
+}
+
 func run(args []string) int {
 	if len(args) > 0 && args[0] == "metrics" {
 		return runMetricsCmd(args[1:])
@@ -59,6 +71,7 @@ func run(args []string) int {
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrent campaign trials (0 = GOMAXPROCS)")
 	workers := fs.Int("j", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
+	timeShards := fs.Int("time-shards", defaultTimeShards(), "segments emulated speculatively ahead of each run's timing stitch (1 = inline; results are identical at any setting)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := fs.String("metrics-out", "", "write the deterministic run-metrics snapshot as JSON to this file on exit")
@@ -129,8 +142,13 @@ func run(args []string) int {
 	if *trials > 0 {
 		sc.FaultTrials = *trials
 	}
+	if *timeShards < 1 {
+		fmt.Fprintf(os.Stderr, "paraverser: -time-shards must be >= 1 (got %d)\n", *timeShards)
+		return 2
+	}
 	experiments.SetWorkers(*workers)
 	experiments.SetCheckWorkers(*checkWorkers)
+	experiments.SetTimeShards(*timeShards)
 
 	var trace *obs.Trace
 	if *traceOut != "" {

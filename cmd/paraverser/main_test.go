@@ -27,6 +27,25 @@ func TestRunArgHandling(t *testing.T) {
 	}
 }
 
+// TestTimeShardsFlagValidation pins the -time-shards contract: zero,
+// negative and malformed values are usage errors (exit 2); valid depths
+// run to completion.
+func TestTimeShardsFlagValidation(t *testing.T) {
+	defer experiments.SetTimeShards(0)
+	for _, bad := range []string{"0", "-3", "two"} {
+		if code := run([]string{"-time-shards", bad, "table1"}); code != 2 {
+			t.Errorf("-time-shards %s: exit %d, want 2", bad, code)
+		}
+	}
+	code := run([]string{
+		"-quick", "-insts", "20000", "-warmup", "20000",
+		"-benchmarks", "exchange2", "-time-shards", "8", "fig6",
+	})
+	if code != 0 {
+		t.Errorf("-time-shards 8 fig6: exit %d, want 0", code)
+	}
+}
+
 func TestMetricsCmdArgHandling(t *testing.T) {
 	if code := run([]string{"metrics"}); code != 2 {
 		t.Errorf("metrics with no file: exit %d, want 2", code)

@@ -65,6 +65,40 @@ func (h *Hierarchy) Fetch(addr uint64) AccessResult {
 	return AccessResult{Level: 3, Cycles: cycles, BeyondNS: h.beyond(addr, false, true)}
 }
 
+// DataAtLevel reproduces the cost of a data access whose hit level was
+// recorded on an earlier identical run, without consulting or mutating
+// the private tag state. Recorded level-3 accesses still invoke Beyond,
+// so the shared LLC/NoC/DRAM model observes the same traffic in the
+// same order as the original run.
+func (h *Hierarchy) DataAtLevel(addr uint64, write bool, level int) AccessResult {
+	cycles := h.L1D.cfg.HitCycles
+	if level == 1 {
+		return AccessResult{Level: 1, Cycles: cycles}
+	}
+	if h.L2 != nil {
+		cycles += h.L2.cfg.HitCycles
+	}
+	if level == 2 {
+		return AccessResult{Level: 2, Cycles: cycles}
+	}
+	return AccessResult{Level: 3, Cycles: cycles, BeyondNS: h.beyond(addr, write, false)}
+}
+
+// FetchAtLevel is DataAtLevel for the instruction side.
+func (h *Hierarchy) FetchAtLevel(addr uint64, level int) AccessResult {
+	cycles := h.L1I.cfg.HitCycles
+	if level == 1 {
+		return AccessResult{Level: 1, Cycles: cycles}
+	}
+	if h.L2 != nil {
+		cycles += h.L2.cfg.HitCycles
+	}
+	if level == 2 {
+		return AccessResult{Level: 2, Cycles: cycles}
+	}
+	return AccessResult{Level: 3, Cycles: cycles, BeyondNS: h.beyond(addr, false, true)}
+}
+
 func (h *Hierarchy) beyond(addr uint64, write, fetch bool) float64 {
 	if h.Beyond == nil {
 		return DefaultBeyondNS

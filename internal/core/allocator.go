@@ -87,6 +87,11 @@ type Checker struct {
 	pending *pendingCheck
 	floorNS float64
 	bb      *checkerBuffer
+
+	// scratch is the checker's reusable verification state: one pending
+	// check owns the checker (and with it the scratch) at a time, so
+	// steady-state verification allocates nothing.
+	scratch CheckScratch
 }
 
 // QuarantinePolicy governs how implicated checkers leave and re-enter

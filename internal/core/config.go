@@ -210,6 +210,22 @@ type Config struct {
 	// synchronously through the legacy path.
 	CheckWorkers int
 
+	// TimeShards is the depth of parallel-in-time speculation when a
+	// SpecCache is attached: how many segments a lane's functional
+	// producer may emulate ahead of the deterministic timing stitch
+	// (and the spacing of the in-run fallback snapshots). <= 1 produces
+	// inline (sequential). Like CheckWorkers, this changes wall-clock
+	// time only — stitched results are byte-identical at every setting
+	// — so it is excluded from the run-cache fingerprint.
+	TimeShards int
+	// Spec, when non-nil, enables speculative segment emulation and
+	// cross-run functional-stream memoisation over the given cache
+	// (spec.go). Observability-and-performance only: every simulated
+	// outcome is byte-identical with or without it, enforced by a
+	// per-segment continuity check with sequential fallback. Excluded
+	// from the run-cache fingerprint.
+	Spec *SpecCache
+
 	NoC    noc.Config
 	Layout *noc.Layout
 	// LSLTrafficOnNoC, when false, omits log pushes from the mesh load
@@ -320,6 +336,9 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("core: invalid check mode %d", c.CheckMode)
+	}
+	if c.TimeShards < 0 {
+		return fmt.Errorf("core: negative time shards %d", c.TimeShards)
 	}
 	if err := c.Recovery.Validate(); err != nil {
 		return err

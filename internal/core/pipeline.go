@@ -135,6 +135,19 @@ type pendingCheck struct {
 	lineLatNS float64
 	bb        checkerBuffer
 
+	// Parallel-in-time state (spec.go). recInto, when non-nil, receives
+	// the verdict at the join, so a recording stream can prove itself
+	// clean before publication. specReplay marks a replay-lane segment:
+	// the checker core re-walks the segment's effect sequence from
+	// specCur — the lane's cursor snapshot at segment entry
+	// (bit-equivalent to a live replay for every field the timing model
+	// reads) — and the verdict is synthesised clean instead of
+	// re-verified, which is sound because only clean streams are ever
+	// published.
+	specReplay bool
+	specCur    specCursor
+	recInto    *recSeg
+
 	// Job outputs. Written by run, read after the done barrier.
 	res    CheckResult
 	durNS  float64
@@ -159,9 +172,25 @@ func (p *pendingCheck) run(s *System) {
 	}
 	ck.Core.AdvanceTo(p.startNS * ck.FreqGHz)
 	c0 := ck.Core.Cycles()
-	p.res = CheckSegment(p.l.proc.w.Prog, p.seg, s.cfg.HashMode, nil, func(e *emu.Effect) {
-		ck.Core.Consume(e)
-	})
+	if p.specReplay {
+		// Replay mode: the stream was functionally verified clean when
+		// it was recorded, so only the checker-core timing needs
+		// computing — off the same reconstructed effect sequence the
+		// main core consumed, re-walked from the segment-entry cursor.
+		var eff emu.Effect
+		cu := p.specCur
+		for n := uint64(0); n < p.seg.Insts; n++ {
+			if !cu.next(&eff) {
+				break
+			}
+			ck.Core.Consume(&eff)
+		}
+		p.res = CheckResult{OK: true, Insts: p.seg.Insts}
+	} else {
+		p.res = ck.scratch.CheckSegment(p.l.proc.w.Prog, p.seg, s.cfg.HashMode, nil, func(e *emu.Effect) {
+			ck.Core.Consume(e)
+		})
+	}
 	p.durNS = (ck.Core.Cycles() - c0) / ck.FreqGHz
 	p.doneNS = p.startNS + p.durNS
 	if s.cfg.EagerWake {
@@ -203,6 +232,10 @@ func (s *System) dispatchPipelined(l *lane, ck *Checker, seg *Segment) {
 		entries: l.entries, ops: l.ops,
 		startNS: startNS, lineLatNS: lineLatNS,
 	}
+	if sp := l.spec; sp != nil && sp.mode == claimReplay {
+		p.specReplay = true
+		p.specCur = sp.segCur
+	}
 	s.snapshotBeyond(ck.Pos, &p.bb)
 	ck.bb = &p.bb
 	ck.pending = p
@@ -220,6 +253,57 @@ func (s *System) dispatchPipelined(l *lane, ck *Checker, seg *Segment) {
 	// included. The pending set at a dispatch point is protocol-defined
 	// (joins happen only at pool queries), so the sample stream is
 	// identical at every CheckWorkers setting.
+	depth := uint64(0)
+	for _, c := range l.alloc.Checkers() {
+		if c.pending != nil {
+			depth++
+		}
+	}
+	s.metrics.CheckQueueDepth.Observe(depth)
+
+	if s.checkSem != nil {
+		p.done = make(chan struct{})
+		go func() {
+			s.checkSem <- struct{}{}
+			p.run(s)
+			<-s.checkSem
+			close(p.done)
+		}()
+	} else {
+		p.run(s)
+	}
+}
+
+// dispatchSpec is dispatchPipelined for a recording lane's stitched
+// segment (spec.go): identical snapshotting, scheduling and
+// accounting, except that the segment's entries live in the recording's
+// private backing rather than the lane's arena (no arena handoff), and
+// the pending check records its verdict into the recorded segment so
+// publication can require a clean stream.
+func (s *System) dispatchSpec(l *lane, ck *Checker, seg *Segment, rs *recSeg) {
+	xferBytes := float64(seg.LogBytes) + 2*float64(l.rcu.CheckpointTransferBytes())
+	if s.cfg.LSLTrafficOnNoC {
+		s.flows.add(l.pos, ck.Pos, xferBytes)
+	}
+	lineLatNS := s.mesh.LatencyNS(l.pos, ck.Pos, LineBytes)
+
+	var startNS float64
+	if s.cfg.EagerWake {
+		startNS = math.Max(seg.StartNS+lineLatNS, ck.FreeAtNS)
+	} else {
+		startNS = math.Max(seg.EndNS+lineLatNS, ck.FreeAtNS)
+	}
+
+	p := &pendingCheck{
+		l: l, ck: ck, seg: seg, execAt: l.executed,
+		startNS: startNS, lineLatNS: lineLatNS,
+		recInto: rs,
+	}
+	s.snapshotBeyond(ck.Pos, &p.bb)
+	ck.bb = &p.bb
+	ck.pending = p
+	ck.floorNS = math.Max(startNS, seg.EndNS+lineLatNS)
+
 	depth := uint64(0)
 	for _, c := range l.alloc.Checkers() {
 		if c.pending != nil {
@@ -298,9 +382,18 @@ func (s *System) joinCheck(ck *Checker) {
 		}
 	}
 
-	// Return the log arenas to the lane for reuse.
-	l.spareEntries = append(l.spareEntries, p.entries)
-	l.spareOps = append(l.spareOps, p.ops)
+	// A recording stream keeps the verdict alongside the segment so a
+	// later replay can reuse it without re-running the functional check.
+	if p.recInto != nil {
+		p.recInto.verdict = p.res
+	}
+
+	// Return the log arenas to the lane for reuse. Stitched segments
+	// (spec.go) back their entries privately and hand over no arena.
+	if p.entries != nil {
+		l.spareEntries = append(l.spareEntries, p.entries)
+		l.spareOps = append(l.spareOps, p.ops)
+	}
 }
 
 // forceAll joins every pending check on l's pool in segment order, so

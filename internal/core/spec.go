@@ -1,0 +1,1054 @@
+package core
+
+// Parallel-in-time single-run simulation: speculative segment emulation
+// with a deterministic timing stitch.
+//
+// A lane's simulated outcome factors into two halves with a one-way
+// dependency. The FUNCTIONAL half — the instruction stream, the logged
+// load/store entries, the segment boundaries — is a pure function of
+// (program, seed, LSL capacity, timeout, interrupt interval,
+// instruction budget, hash mode): the emulator never reads a clock, the
+// counter ticks on instructions and log lines, and full-coverage
+// checkpoints stall rather than skip, so timing feeds nothing back into
+// functional execution. The TIMING half (main-core cycles, NoC flows,
+// LLC occupancy, checker schedules) consumes the functional stream but
+// cannot perturb it.
+//
+// That factorisation lets one run be sharded in time: a producer
+// emulates future segments speculatively — ahead of, and concurrently
+// with, the timing stitch — recording for each segment the committed
+// PCs, per-instruction outcome flags and log entries. The stitcher then
+// replays those segments through the unmodified timing protocol in
+// segment order, reconstructing each emu.Effect from the recording.
+// Reconstruction is exact for every field the timing models read
+// (cpu.Core.Consume and the checker-side consume use only PC, Inst,
+// Class, Dec, NextPC, Taken, Halted, Mem[:NMem] addresses/kinds,
+// WroteInt, WroteFP), so stitched timing is bit-identical to live
+// timing at any shard depth — Config.TimeShards changes wall-clock
+// only, never tables.
+//
+// The factorisation is finer still: the instruction SEQUENCE is a pure
+// function of (program, hart, seed, instruction budget) alone. LSL
+// capacity, the checkpoint timeout, the interrupt interval, hash mode
+// and whether checking is on at all shape only WHERE the sequence is
+// cut into segments — the emulator never observes a boundary. A
+// recorded stream is therefore keyed by the sequence inputs only, and a
+// replay run RE-CUTS its own segment boundaries: the live runSegment
+// loop runs unmodified (checker acquisition, LSPU packing, counters,
+// warmup/interrupt windows, hash digests), but draws its effects from a
+// cursor over the recorded stream instead of the emulator. One stream
+// recorded under full coverage serves opportunistic sweeps, hash-mode
+// toggles, capacity sweeps and unchecked baselines — and vice versa.
+//
+// The recording, kept in a SpecCache, thereby memoises the functional
+// stream ACROSS runs: sweeps that vary any timing- or boundary-side
+// parameter (frequency, NoC, worker counts, checker counts and
+// capacities, operating mode, hash mode) replay a stream recorded once
+// instead of re-emulating, and a per-main-geometry MicroTrace memoises
+// the main core's private-cache hit levels and branch verdicts on top
+// (cpu/microtrace.go) — valid across re-cut boundaries because consume
+// order is commit order, which is stream order.
+//
+// Safety: every speculative segment carries its entry architectural
+// state, and the stitcher commits a segment only if that state extends
+// the committed predecessor bit-for-bit. On divergence the engine
+// falls back — in-run to sequential emulation from a retained machine
+// snapshot when one matches the committed boundary, otherwise by
+// rerunning the whole system without speculation (ErrSpecDiverged) —
+// so a speculation bug can cost time, never correctness.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paraverser/internal/cpu"
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+	"paraverser/internal/obs"
+)
+
+// ErrSpecDiverged reports that a speculative segment's entry state did
+// not extend the committed predecessor and no in-run fallback was
+// possible. Run (the package-level wrapper) catches it and reruns the
+// system sequentially without speculation.
+var ErrSpecDiverged = errors.New("core: speculative segment diverged from committed state")
+
+// DefaultSpecCacheBytes bounds a SpecCache's recorded-stream memory.
+const DefaultSpecCacheBytes = 1 << 30
+
+// Per-instruction outcome flags in recSeg.flags.
+const (
+	specTaken    uint8 = 1 << 0
+	specWroteInt uint8 = 1 << 1
+	specWroteFP  uint8 = 1 << 2
+	specHasEntry uint8 = 1 << 3
+	specHalted   uint8 = 1 << 4
+)
+
+// streamKey identifies one lane's functional stream: exactly the
+// inputs the instruction SEQUENCE depends on, and nothing that merely
+// moves segment boundaries (capacity, timeout, interrupt interval,
+// hash mode, checking) — replay runs re-cut boundaries live.
+type streamKey struct {
+	prog *isa.Program
+	hart int
+	seed uint64
+	// maxInsts and warmupInsts bound the stream's length (the budget is
+	// their sum); interrupts and checkpoints have no architectural
+	// effect, so nothing else reaches the emulator.
+	maxInsts    int64
+	warmupInsts int64
+}
+
+// recSeg is one recorded segment: everything needed to reconstruct the
+// committed effect sequence and the Segment handed to the checker.
+type recSeg struct {
+	start emu.ArchState
+	end   emu.ArchState
+	// pcs[i] is instruction i's PC; flags[i] its outcome bits. entries
+	// holds the logged entries in commit order, with exact-size private
+	// backing (never aliased by later segments).
+	pcs     []uint32
+	flags   []uint8
+	entries []Entry
+	insts   uint64
+	// Checked-lane log accounting under the RECORDING run's own
+	// configuration (zero for unchecked recorders). Only the recording
+	// run's stitch reads these; replay runs re-cut boundaries and
+	// recompute packing, byte counts and digests live.
+	logBytes int
+	logLines int
+	digest   [32]byte
+	reason   BoundaryReason
+	// endSinceIRQ is the interrupt counter after this segment, so an
+	// in-run fallback resumes the legacy path consistently.
+	endSinceIRQ uint64
+	// snap, when non-nil, is the machine state at segment entry — the
+	// in-run fallback point (taken every TimeShards segments).
+	snap *emu.MachineSnapshot
+	// verdict is the checker outcome recorded at join time. Publication
+	// requires every verdict clean, which is what lets replay runs
+	// synthesise clean verdicts instead of re-verifying.
+	verdict CheckResult
+}
+
+func (rs *recSeg) memBytes() int {
+	n := 4*len(rs.pcs) + len(rs.flags) + 40*len(rs.entries) + 256
+	for i := range rs.entries {
+		n += 24 * len(rs.entries[i].Ops)
+	}
+	return n
+}
+
+// recStream is every recorded segment of one functional stream, plus
+// the per-main-geometry micro traces recorded over it.
+type recStream struct {
+	segs     []*recSeg
+	complete bool
+	// recording marks an in-flight exclusive recording claim.
+	recording bool
+	bytes     int
+	// micro maps a main-core geometry key to a complete MicroTrace over
+	// this stream; microRec marks in-flight recording claims.
+	micro    map[string]*cpu.MicroTrace
+	microRec map[string]bool
+}
+
+// SpecCache memoises functional streams and micro traces across runs.
+// One cache is shared by every run of an experiment engine; all state
+// is guarded by mu, so concurrent runs may record and replay freely.
+type SpecCache struct {
+	mu       sync.Mutex
+	streams  map[streamKey]*recStream
+	bytes    int
+	maxBytes int
+
+	stats obs.SpecStats
+
+	// clock, when non-nil, supplies wall-clock ns for the StitchNS
+	// statistic. Injected (experiments wires time.Now) because core is a
+	// deterministic package; timing of the simulator itself never feeds
+	// back into simulated outcomes.
+	clock func() int64
+
+	// testCorrupt, when non-nil, mutates segments as the stitcher
+	// receives them — the forced-divergence hook for fallback tests.
+	testCorrupt func(laneIdx, seq int, rs *recSeg)
+}
+
+// NewSpecCache returns an empty cache with the default byte budget.
+func NewSpecCache() *SpecCache {
+	return &SpecCache{
+		streams:  make(map[streamKey]*recStream),
+		maxBytes: DefaultSpecCacheBytes,
+	}
+}
+
+// SetLimit caps recorded-stream memory: once exceeded, new recordings
+// are refused (existing streams keep replaying).
+func (c *SpecCache) SetLimit(bytes int) {
+	c.mu.Lock()
+	c.maxBytes = bytes
+	c.mu.Unlock()
+}
+
+// SetClock injects a wall-clock source for the StitchNS statistic.
+func (c *SpecCache) SetClock(fn func() int64) { c.clock = fn }
+
+// Stats returns a snapshot of the cache's speculation counters.
+func (c *SpecCache) Stats() obs.SpecSnapshot { return c.stats.Snapshot() }
+
+// Claim outcomes.
+const (
+	claimNone = iota
+	claimRecord
+	claimReplay
+)
+
+// claimStream resolves how a lane uses the cache: replay a complete
+// stream, record a fresh one (exclusive, only if the caller's
+// configuration can produce boundaries deterministically — canRecord),
+// or run live unrecorded. The protocol never blocks: a stream being
+// recorded elsewhere, or a cache over budget, degrades to live
+// execution.
+func (c *SpecCache) claimStream(key streamKey, canRecord bool) (*recStream, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.streams[key]
+	if st != nil && st.complete {
+		c.stats.StreamsReplayed.Add(1)
+		return st, claimReplay
+	}
+	if !canRecord {
+		return nil, claimNone
+	}
+	if st == nil {
+		if c.bytes >= c.maxBytes {
+			return nil, claimNone
+		}
+		st = &recStream{}
+		c.streams[key] = st
+	}
+	if st.recording {
+		return nil, claimNone
+	}
+	st.recording = true
+	return st, claimRecord
+}
+
+// releaseStream abandons a recording claim (divergence, run error).
+// Only the recording lane itself can hold claims on an incomplete
+// stream, so dropping the entry is safe.
+func (c *SpecCache) releaseStream(key streamKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.streams[key]; st != nil && !st.complete {
+		delete(c.streams, key)
+	}
+}
+
+// publishStream completes a recording, making the stream replayable.
+func (c *SpecCache) publishStream(key streamKey, segs []*recSeg) {
+	n := 0
+	for _, rs := range segs {
+		n += rs.memBytes()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.streams[key]
+	if st == nil || st.complete {
+		return
+	}
+	st.segs = segs
+	st.bytes = n
+	st.recording = false
+	st.complete = true
+	c.bytes += n
+	c.stats.StreamsRecorded.Add(1)
+}
+
+// evictStream drops a stream (replay divergence hygiene): a stream
+// that failed the continuity check must not keep serving replays.
+func (c *SpecCache) evictStream(key streamKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.streams[key]; st != nil {
+		if st.complete {
+			c.bytes -= st.bytes
+		}
+		delete(c.streams, key)
+	}
+}
+
+// claimMicro resolves a lane's micro-trace use for one main geometry:
+// replay a complete trace, record a fresh one (exclusive), or neither.
+func (c *SpecCache) claimMicro(st *recStream, geom string) (tr *cpu.MicroTrace, replay, record bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := st.micro[geom]; t != nil {
+		c.stats.MicroReplayed.Add(1)
+		return t, true, false
+	}
+	if st.microRec[geom] {
+		return nil, false, false
+	}
+	if st.microRec == nil {
+		st.microRec = make(map[string]bool)
+	}
+	st.microRec[geom] = true
+	return nil, false, true
+}
+
+// releaseMicro abandons a micro recording claim.
+func (c *SpecCache) releaseMicro(st *recStream, geom string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(st.microRec, geom)
+}
+
+// publishMicro completes a micro recording.
+func (c *SpecCache) publishMicro(st *recStream, geom string, tr *cpu.MicroTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st.micro == nil {
+		st.micro = make(map[string]*cpu.MicroTrace)
+	}
+	st.micro[geom] = tr
+	delete(st.microRec, geom)
+	c.stats.MicroRecorded.Add(1)
+}
+
+// specProducer emulates a lane's functional stream ahead of the timing
+// stitch, mirroring the legacy runSegment functional loop exactly: the
+// same step sequence, the same logging, the same boundary decisions in
+// the same order. It owns the lane's machine (exclusively, when run on
+// a producer goroutine) and private copies of the functional units
+// whose state shapes boundaries (LSPU line packing, instruction
+// counter, interrupt/warmup counters).
+type specProducer struct {
+	laneIdx int
+	mach    *emu.Machine
+	hart    int
+
+	budget   int64
+	warmup   int64
+	timeout  uint64
+	irqEvery uint64
+	hashMode bool
+	checked  bool
+	capacity int
+	shards   int
+
+	counter  Counter
+	lspu     *LSPU
+	rcu      *RCU
+	executed int64
+	sinceIRQ uint64
+	warmed   bool
+	segIdx   int
+
+	// Reused scratch; sealed into exact-size private copies per segment.
+	pcs   []uint32
+	flags []uint8
+	ents  []Entry
+	ops   []MemRec
+}
+
+// produce emulates one segment, or returns (nil, nil) at stream end.
+func (p *specProducer) produce() (*recSeg, error) {
+	hart := p.mach.Harts[p.hart]
+	if hart.Halted || (p.budget > 0 && p.executed >= p.budget) {
+		return nil, nil
+	}
+	rs := &recSeg{start: hart.State}
+	if p.shards > 1 && p.segIdx%p.shards == 0 {
+		rs.snap = p.mach.Snapshot()
+	}
+	p.segIdx++
+	p.counter.TimeoutInsts = p.timeout
+	p.counter.Reset(p.capacity)
+	p.pcs = p.pcs[:0]
+	p.flags = p.flags[:0]
+	p.ents = p.ents[:0]
+	p.ops = p.ops[:0]
+
+	var eff emu.Effect
+	reason := BoundaryInvalid
+	for reason == BoundaryInvalid {
+		if err := p.mach.StepHart(p.hart, &eff); err != nil {
+			return nil, fmt.Errorf("core: lane %d: %w", p.laneIdx, err)
+		}
+		p.executed++
+		p.sinceIRQ++
+
+		fl := uint8(0)
+		if eff.Taken {
+			fl |= specTaken
+		}
+		if eff.WroteInt {
+			fl |= specWroteInt
+		}
+		if eff.WroteFP {
+			fl |= specWroteFP
+		}
+		if eff.Halted {
+			fl |= specHalted
+		}
+		pushed := 0
+		// Entries are recorded even on unchecked lanes: they carry the
+		// memory operations the effect reconstruction needs.
+		if entry, ok := EntryFromEffectArena(&eff, &p.ops); ok {
+			fl |= specHasEntry
+			p.ents = append(p.ents, entry)
+			if p.checked {
+				pushed = p.lspu.Append(entry)
+				rs.logLines += pushed
+				rs.logBytes += entry.SizeBytes(p.hashMode)
+				if p.hashMode {
+					for i := 0; i < eff.NMem; i++ {
+						m := eff.Mem[i]
+						p.rcu.AbsorbVerification(MemRec{
+							Addr: m.Addr, Size: m.Size,
+							Data: m.Data, Load: m.Kind == emu.MemLoad,
+						})
+					}
+				}
+			}
+		}
+		p.pcs = append(p.pcs, uint32(eff.PC))
+		p.flags = append(p.flags, fl)
+
+		switch {
+		case eff.Halted:
+			reason = BoundaryHalt
+		case p.budget > 0 && p.executed >= p.budget:
+			reason = BoundaryHalt
+		case !p.warmed && p.warmup > 0 && p.executed >= p.warmup:
+			reason = BoundaryInterrupt
+		case p.irqEvery > 0 && p.sinceIRQ >= p.irqEvery:
+			reason = BoundaryInterrupt
+			p.sinceIRQ = 0
+		default:
+			reason = p.counter.Tick(pushed)
+		}
+	}
+	if p.checked {
+		rs.logLines += p.lspu.Flush()
+		if p.hashMode {
+			rs.digest = p.rcu.Digest()
+		}
+	}
+	if !p.warmed && p.warmup > 0 && p.executed >= p.warmup {
+		p.warmed = true
+	}
+
+	rs.end = hart.State
+	rs.insts = uint64(len(p.pcs))
+	rs.reason = reason
+	rs.endSinceIRQ = p.sinceIRQ
+
+	// Seal exact-size private copies: the scratch arenas are reused for
+	// the next segment, and a recorded segment must never alias them.
+	rs.pcs = append([]uint32(nil), p.pcs...)
+	rs.flags = append([]uint8(nil), p.flags...)
+	ops := append([]MemRec(nil), p.ops...)
+	ents := make([]Entry, len(p.ents))
+	o := 0
+	for i := range p.ents {
+		n := len(p.ents[i].Ops)
+		ents[i] = Entry{Kind: p.ents[i].Kind, Ops: ops[o : o+n : o+n]}
+		o += n
+	}
+	rs.entries = ents
+	return rs, nil
+}
+
+// laneSpec is one lane's speculation state for the current run.
+type laneSpec struct {
+	mode    int // claimRecord or claimReplay
+	key     streamKey
+	stream  *recStream
+	dec     []isa.DecInst
+	checked bool
+
+	// prevEnd is the committed architectural boundary; every incoming
+	// recorded segment must start exactly here.
+	prevEnd   emu.ArchState
+	delivered int
+	sawEnd    bool
+
+	// Replay state: cur walks the recorded stream in place of the
+	// emulator (specNext); segCur is cur's value at the current
+	// segment's start, snapshotted so a pending check can re-walk
+	// exactly the effects the segment consumed.
+	cur    specCursor
+	segCur specCursor
+
+	// Record state. With TimeShards > 1 the producer runs on its own
+	// goroutine, ahead of the stitcher through ch; otherwise produce()
+	// is called inline. segs accumulates committed segments for
+	// publication.
+	prod     *specProducer
+	ch       chan *recSeg
+	errc     chan error
+	stop     chan struct{}
+	prodDone chan struct{}
+	segs     []*recSeg
+
+	// Micro-trace recording in flight (nil when replaying or not
+	// claimed).
+	microRec  *cpu.MicroTrace
+	microGeom string
+}
+
+// stopProducer halts the producer goroutine (if any) and waits for it
+// to exit, after which the machine is quiescent and owned by the
+// caller. Idempotent; a no-op for inline producers.
+func (sp *laneSpec) stopProducer() {
+	if sp.stop == nil {
+		return
+	}
+	close(sp.stop)
+	<-sp.prodDone
+	sp.stop = nil
+}
+
+// laneSpecEligible reports what lane l may do with the speculation
+// cache: replay a recorded stream, and additionally record a fresh one.
+//
+// Replay requires only that the lane's instruction sequence is a pure
+// function of the streamKey inputs. Interceptors mutate execution;
+// recovery can empty the checker pool mid-run and consumes verdicts
+// synchronously; divergent mode keeps a private memory image in
+// lockstep with verification; multi-hart processes interleave through
+// shared memory under timing control; and a checked replay synthesises
+// clean verdicts, which needs the pipelined dispatch path. Boundary
+// shape does NOT matter for replay — the live runSegment loop re-cuts
+// boundaries over the cursor, so opportunistic mode, sampling and
+// non-uniform pool capacities all replay fine.
+//
+// Recording is stricter: the producer must predict segment boundaries
+// ahead of timing, so checked recorders need full coverage (no
+// timing-gated logging) and a uniform pool capacity (BoundaryLSLFull
+// must not depend on which checker was allocated).
+func (s *System) laneSpecEligible(l *lane) (replay, record bool) {
+	if s.cfg.MainInterceptor != nil || s.cfg.CheckerInterceptor != nil ||
+		s.cfg.Recovery.Enabled {
+		return false, false
+	}
+	if len(l.proc.mach.Harts) != 1 || l.div != nil {
+		return false, false
+	}
+	if !s.checking() {
+		return true, true
+	}
+	if !s.pipelined {
+		return false, false
+	}
+	record = s.cfg.Mode == ModeFullCoverage
+	if record {
+		cks := l.alloc.Checkers()
+		cap0 := s.lslCapacityLines(cks[0])
+		for _, ck := range cks[1:] {
+			if s.lslCapacityLines(ck) != cap0 {
+				record = false
+				break
+			}
+		}
+	}
+	return true, record
+}
+
+// streamKeyFor builds lane l's stream key.
+func (s *System) streamKeyFor(l *lane) streamKey {
+	return streamKey{
+		prog:        l.proc.w.Prog,
+		hart:        l.hart,
+		seed:        s.cfg.Seed,
+		maxInsts:    l.proc.w.MaxInsts,
+		warmupInsts: l.proc.w.WarmupInsts,
+	}
+}
+
+// initSpec decides, per lane, whether this run replays a recorded
+// stream, records a fresh one (speculatively, ahead of the stitch), or
+// runs the legacy sequential path (l.spec stays nil).
+func (s *System) initSpec() {
+	c := s.cfg.Spec
+	for _, l := range s.lanes {
+		replayOK, recordOK := s.laneSpecEligible(l)
+		if !replayOK {
+			continue
+		}
+		key := s.streamKeyFor(l)
+		st, mode := c.claimStream(key, recordOK)
+		if mode == claimNone {
+			continue
+		}
+		sp := &laneSpec{
+			mode: mode, key: key, stream: st,
+			dec:     l.proc.w.Prog.Decoded(),
+			checked: s.checking(),
+			prevEnd: l.proc.mach.Harts[l.hart].State,
+		}
+		if mode == claimReplay {
+			sp.cur = specCursor{dec: sp.dec, segs: st.segs}
+		} else {
+			hashMode := s.cfg.HashMode && sp.checked
+			capacity := 0
+			if sp.checked {
+				capacity = s.lslCapacityLines(l.alloc.Checkers()[0])
+			}
+			sp.prod = &specProducer{
+				laneIdx:  l.idx,
+				mach:     l.proc.mach,
+				hart:     l.hart,
+				budget:   l.proc.w.MaxInsts,
+				warmup:   l.proc.w.WarmupInsts,
+				timeout:  s.cfg.TimeoutInsts,
+				irqEvery: s.cfg.InterruptIntervalInsts,
+				hashMode: hashMode,
+				checked:  sp.checked,
+				capacity: capacity,
+				shards:   s.cfg.TimeShards,
+				lspu:     NewLSPU(hashMode),
+				rcu:      NewRCU(hashMode),
+			}
+			if sp.prod.budget > 0 {
+				sp.prod.budget += sp.prod.warmup
+			}
+			if s.cfg.TimeShards > 1 {
+				sp.ch = make(chan *recSeg, s.cfg.TimeShards)
+				sp.errc = make(chan error, 1)
+				sp.stop = make(chan struct{})
+				sp.prodDone = make(chan struct{})
+				go specProduceLoop(sp, &c.stats)
+			}
+		}
+		// Micro-trace claim for this lane's main-core geometry. Traces
+		// exist only on complete streams, so a record-mode lane can only
+		// ever record one (its main consumes live), and a replay lane
+		// records one the first time a geometry replays this stream.
+		mc := l.main.Config()
+		geom := cpu.GeometryKey(&mc)
+		if tr, replay, record := c.claimMicro(st, geom); replay {
+			l.main.SetMicroReplay(tr)
+		} else if record {
+			sp.microRec = &cpu.MicroTrace{}
+			sp.microGeom = geom
+			l.main.SetMicroRecord(sp.microRec)
+		}
+		l.spec = sp
+	}
+}
+
+// specProduceLoop runs the producer ahead of the stitcher: the
+// functional shard of the run executes in the simulated future relative
+// to the timing shard, up to TimeShards segments deep.
+func specProduceLoop(sp *laneSpec, stats *obs.SpecStats) {
+	defer close(sp.prodDone)
+	for {
+		rs, err := sp.prod.produce()
+		if err != nil {
+			select {
+			case sp.errc <- err:
+			case <-sp.stop:
+			}
+			return
+		}
+		if rs == nil {
+			close(sp.ch)
+			return
+		}
+		stats.SegmentsSpeculated.Add(1)
+		select {
+		case sp.ch <- rs:
+		case <-sp.stop:
+			return
+		}
+	}
+}
+
+// nextSpecSeg fetches the recording lane's next produced segment: from
+// the producer pipeline, or an inline produce call. Returns (nil, nil)
+// at stream end.
+func (s *System) nextSpecSeg(l *lane) (*recSeg, error) {
+	sp := l.spec
+	var rs *recSeg
+	var err error
+	if sp.ch != nil {
+		select {
+		case err = <-sp.errc:
+		case got, ok := <-sp.ch:
+			if ok {
+				rs = got
+			}
+		}
+	} else {
+		rs, err = sp.prod.produce()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rs == nil {
+		sp.sawEnd = true
+		return nil, nil
+	}
+	if hook := s.cfg.Spec.testCorrupt; hook != nil {
+		hook(l.idx, sp.delivered, rs)
+	}
+	sp.delivered++
+	return rs, nil
+}
+
+// runSegmentSpec stitches one speculatively produced segment through
+// the timing protocol on a RECORDING lane (replay lanes run the plain
+// runSegment loop over a cursor instead). Every timing-side action
+// mirrors runSegment exactly — same acquisition and stall arithmetic,
+// same consume sequence (the reconstructed effects are bit-equivalent
+// for every field the timing models read), same checkpoint close,
+// dispatch and accounting — so the produced tables are byte-identical
+// to the sequential path.
+func (s *System) runSegmentSpec(l *lane) error {
+	sp := l.spec
+	c := s.cfg.Spec
+	var t0 int64
+	if c.clock != nil {
+		t0 = c.clock()
+	}
+	rs, err := s.nextSpecSeg(l)
+	if err != nil {
+		return err
+	}
+	if rs == nil {
+		s.finishLane(l)
+		return nil
+	}
+	if rs.start != sp.prevEnd {
+		return s.specDiverged(l, rs)
+	}
+	sp.prevEnd = rs.end
+	sp.segs = append(sp.segs, rs)
+	if rs.reason == BoundaryHalt {
+		// Streams always terminate in a halt-reason segment (budget
+		// exhaustion raises BoundaryHalt inside the segment loop), and
+		// the lane finishes at this very call — mark the stream fully
+		// stitched now so collection publishes the recording.
+		sp.sawEnd = true
+	}
+
+	now := l.main.TimeNS()
+	l.segChecked = sp.checked
+	l.segDegraded = false
+	var ck *Checker
+	if sp.checked {
+		// Full-coverage acquisition; eligibility excludes recovery, so
+		// the pool can never empty and EarliestFree is always non-nil.
+		ck = l.alloc.AcquireFree(now)
+		if ck == nil {
+			e := l.alloc.EarliestFree()
+			stall := e.FreeAtNS - now
+			l.main.StallNS(stall)
+			l.res.StallNS += stall
+			s.metrics.StallNS += uint64(stall + 0.5)
+			ck = e
+		}
+	}
+
+	l.segStart = rs.start
+	l.segInsts = rs.insts
+	l.segBytes = rs.logBytes
+	l.segLines = rs.logLines
+	startNS := l.main.TimeNS()
+
+	var eff emu.Effect
+	it := effIter{dec: sp.dec, rs: rs}
+	for it.next(&eff) {
+		l.main.Consume(&eff)
+	}
+	l.executed += int64(rs.insts)
+	l.sinceIRQ = rs.endSinceIRQ
+
+	// --- close the checkpoint (mirrors runSegment) ---
+	if s.cfg.CheckpointDrains {
+		l.main.Stall(s.cfg.CheckpointStallCycles)
+	} else {
+		l.main.FetchBubble(s.cfg.CheckpointStallCycles)
+	}
+	l.res.CheckpointNS += s.cfg.CheckpointStallCycles / (l.main.FreqGHz)
+	endNS := l.main.TimeNS()
+	l.res.Segments++
+	s.metrics.Segments++
+	s.metrics.Insts += l.segInsts
+	s.metrics.CheckpointNS += uint64(s.cfg.CheckpointStallCycles/l.main.FreqGHz + 0.5)
+	s.traceSegment(l, startNS, endNS)
+
+	if !sp.checked {
+		l.res.UncheckedInsts += l.segInsts
+		s.metrics.SegmentsUnchecked++
+		s.flows.refresh(s.mesh, endNS)
+		s.maybeSnapshotWarm(l)
+		if rs.reason == BoundaryHalt {
+			s.finishLane(l)
+		}
+		if c.clock != nil {
+			c.stats.StitchNS.Add(uint64(c.clock() - t0))
+		}
+		return nil
+	}
+
+	seg := &Segment{
+		Seq:      l.segSeq,
+		Hart:     l.hart,
+		Start:    rs.start,
+		End:      rs.end,
+		Entries:  rs.entries,
+		Insts:    rs.insts,
+		LogBytes: rs.logBytes,
+		LogLines: rs.logLines,
+		Digest:   rs.digest,
+		Reason:   rs.reason,
+		StartNS:  startNS,
+		EndNS:    endNS,
+	}
+	l.segSeq++
+	l.res.CheckedInsts += seg.Insts
+	l.res.LogBytes += uint64(seg.LogBytes)
+	l.res.LogLines += uint64(seg.LogLines)
+	s.metrics.SegmentsChecked++
+	s.metrics.InstsChecked += seg.Insts
+
+	s.dispatchSpec(l, ck, seg, rs)
+	s.flows.refresh(s.mesh, endNS)
+	s.maybeSnapshotWarm(l)
+	if rs.reason == BoundaryHalt {
+		s.finishLane(l)
+	}
+	if c.clock != nil {
+		c.stats.StitchNS.Add(uint64(c.clock() - t0))
+	}
+	return nil
+}
+
+// specDiverged handles a failed continuity check. Record lanes whose
+// machine snapshot matches the committed boundary fall back in-run:
+// the producer stops, the machine rewinds to the boundary, and the lane
+// continues on the legacy sequential path (its main core consumed live
+// throughout, so caches and predictor are already coherent). Otherwise
+// the run aborts with ErrSpecDiverged and the Run wrapper reruns the
+// whole system without speculation.
+func (s *System) specDiverged(l *lane, rs *recSeg) error {
+	sp := l.spec
+	c := s.cfg.Spec
+	c.stats.SpecAborts.Add(1)
+	sp.stopProducer()
+	s.releaseLaneSpec(l)
+	l.spec = nil
+	if sp.mode == claimRecord && rs != nil && rs.snap != nil &&
+		rs.snap.HartState(l.hart) == sp.prevEnd {
+		l.proc.mach.Restore(rs.snap)
+		return nil
+	}
+	if sp.mode == claimReplay {
+		// A cached stream that fails continuity is broken: stop serving
+		// it so later runs re-record instead of re-aborting.
+		c.evictStream(sp.key)
+	}
+	return ErrSpecDiverged
+}
+
+// releaseLaneSpec abandons the lane's cache claims and detaches the
+// main core's micro-trace hooks.
+func (s *System) releaseLaneSpec(l *lane) {
+	sp := l.spec
+	c := s.cfg.Spec
+	if sp.mode == claimRecord {
+		c.releaseStream(sp.key)
+	}
+	if sp.microRec != nil {
+		c.releaseMicro(sp.stream, sp.microGeom)
+		sp.microRec = nil
+	}
+	l.main.SetMicroRecord(nil)
+}
+
+// abortSpec unwinds speculation on a failed run: stop producers, drop
+// claims.
+func (s *System) abortSpec() {
+	for _, l := range s.lanes {
+		if l.spec == nil {
+			continue
+		}
+		l.spec.stopProducer()
+		s.releaseLaneSpec(l)
+		l.spec = nil
+	}
+}
+
+// publishSpec publishes completed recordings at collection time, after
+// every pending check has joined (verdicts are recorded at joins). A
+// checked recording is published only if every verdict came back clean:
+// replay runs synthesise clean verdicts instead of re-verifying, which
+// is sound precisely because unclean streams never enter the cache
+// (eligibility already excludes every fault-injection path, so a dirty
+// verdict here means a simulator defect — degrade to live runs).
+func (s *System) publishSpec() {
+	c := s.cfg.Spec
+	for _, l := range s.lanes {
+		sp := l.spec
+		if sp == nil || !sp.sawEnd {
+			continue
+		}
+		sp.stopProducer()
+		if sp.mode == claimRecord {
+			clean := true
+			if sp.checked {
+				for _, rs := range sp.segs {
+					if rs.verdict.Detected() {
+						clean = false
+						break
+					}
+				}
+			}
+			if clean {
+				c.publishStream(sp.key, sp.segs)
+			} else {
+				c.releaseStream(sp.key)
+			}
+		}
+		if sp.microRec != nil {
+			c.publishMicro(sp.stream, sp.microGeom, sp.microRec)
+			sp.microRec = nil
+		}
+	}
+}
+
+// effIter reconstructs the committed effect sequence from a recorded
+// segment. Reconstruction is bit-equivalent, for every field the
+// timing consumers read, to the effects the live emulator produced:
+// PC/Inst/Class/Dec come from the decoded program at the recorded PC,
+// NextPC is the next recorded PC (the end-state PC for the last
+// instruction — exact because the emulator sets State.PC = eff.NextPC
+// after every step), Taken/WroteInt/WroteFP/Halted come from the
+// recorded flags, and the memory operations come from the recorded log
+// entry.
+type effIter struct {
+	dec []isa.DecInst
+	rs  *recSeg
+	i   int
+	ei  int
+}
+
+func (it *effIter) next(eff *emu.Effect) bool {
+	rs := it.rs
+	if it.i >= len(rs.pcs) {
+		return false
+	}
+	pc := uint64(rs.pcs[it.i])
+	fl := rs.flags[it.i]
+	d := &it.dec[pc]
+	// Field-wise assignment instead of a struct literal: zeroing the
+	// whole Effect (dominated by its Mem array) per instruction is
+	// measurable on the replay hot path. Every field a consumer guards
+	// reads behind (NMem, NonRepeat) is reset here; stale Mem/
+	// NonRepeatVal bytes beyond those guards are never read.
+	eff.PC = pc
+	eff.Inst = d.Inst
+	eff.Class = d.Class
+	eff.Dec = d
+	eff.Taken = fl&specTaken != 0
+	eff.WroteInt = fl&specWroteInt != 0
+	eff.WroteFP = fl&specWroteFP != 0
+	eff.Halted = fl&specHalted != 0
+	eff.NonRepeat = false
+	eff.NMem = 0
+	if it.i+1 < len(rs.pcs) {
+		eff.NextPC = uint64(rs.pcs[it.i+1])
+	} else {
+		eff.NextPC = rs.end.PC
+	}
+	if fl&specHasEntry != 0 {
+		e := &rs.entries[it.ei]
+		it.ei++
+		if e.Kind == EntryNonRepeat {
+			eff.NonRepeat = true
+			eff.NonRepeatVal = e.Ops[0].Data
+		} else {
+			for j := range e.Ops {
+				op := &e.Ops[j]
+				kind := emu.MemStore
+				if op.Load {
+					kind = emu.MemLoad
+				}
+				eff.Mem[j] = emu.MemOp{Kind: kind, Addr: op.Addr, Size: op.Size, Data: op.Data}
+			}
+			eff.NMem = len(e.Ops)
+		}
+	}
+	it.i++
+	return true
+}
+
+// specCursor walks a recorded stream's flat effect sequence, crossing
+// recorded-segment joints transparently — the replay run's own segment
+// boundaries are cut by the live runSegment loop, independent of where
+// the recording run happened to cut its checkpoints. A plain value
+// copy snapshots a position: a pending check re-walks its segment's
+// effects from such a snapshot, hook-free, on a worker goroutine
+// (recorded segments are immutable once published).
+type specCursor struct {
+	dec  []isa.DecInst
+	segs []*recSeg
+	k    int
+	it   effIter
+}
+
+// done reports stream exhaustion.
+func (cu *specCursor) done() bool {
+	return (cu.it.rs == nil || cu.it.i >= len(cu.it.rs.pcs)) && cu.k >= len(cu.segs)
+}
+
+// next reconstructs the next committed effect, entering the next
+// recorded segment as needed. Hook-free and continuity-blind: the
+// lane-side step with divergence checks is System.specNext.
+func (cu *specCursor) next(eff *emu.Effect) bool {
+	for cu.it.rs == nil || cu.it.i >= len(cu.it.rs.pcs) {
+		if cu.k >= len(cu.segs) {
+			return false
+		}
+		cu.it = effIter{dec: cu.dec, rs: cu.segs[cu.k]}
+		cu.k++
+	}
+	return cu.it.next(eff)
+}
+
+// specNext is runSegment's functional step on a replay lane: it
+// reconstructs the next committed effect from the recorded stream
+// instead of stepping the emulator. Entering a recorded segment fires
+// the continuity check — its entry state must extend the committed
+// predecessor bit-for-bit — and the forced-divergence test hook, so a
+// broken stream degrades exactly like the stitched path: eviction plus
+// ErrSpecDiverged, which the Run wrapper turns into a sequential rerun.
+func (s *System) specNext(l *lane, eff *emu.Effect) (bool, error) {
+	sp := l.spec
+	cu := &sp.cur
+	for cu.it.rs == nil || cu.it.i >= len(cu.it.rs.pcs) {
+		if cu.k >= len(cu.segs) {
+			return false, nil
+		}
+		rs := cu.segs[cu.k]
+		if hook := s.cfg.Spec.testCorrupt; hook != nil {
+			hook(l.idx, sp.delivered, rs)
+		}
+		sp.delivered++
+		if rs.start != sp.prevEnd {
+			return false, s.specDiverged(l, rs)
+		}
+		sp.prevEnd = rs.end
+		s.cfg.Spec.stats.SegmentsReplayed.Add(1)
+		cu.it = effIter{dec: cu.dec, rs: rs}
+		cu.k++
+	}
+	return cu.it.next(eff), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -115,6 +116,10 @@ type lane struct {
 	// report the measured window only.
 	warmed bool
 	warm   warmSnapshot
+
+	// spec is this lane's parallel-in-time speculation state (spec.go);
+	// nil runs the legacy sequential runSegment path.
+	spec *laneSpec
 }
 
 // warmSnapshot captures counters at the end of the warmup phase.
@@ -220,7 +225,10 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 
 	laneIdx := 0
 	for _, w := range workloads {
-		mach, err := emu.NewMachine(w.Prog, cfg.Seed)
+		// The shared image cache materialises each program's data segment
+		// once per process; every machine gets a private copy-on-write
+		// view, so per-run setup is O(pages touched), not O(data bytes).
+		mach, err := emu.NewMachineShared(w.Prog, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: workload %q: %w", w.Name, err)
 		}
@@ -356,16 +364,31 @@ func (s *System) checking() bool { return len(s.cfg.Checkers) > 0 }
 // Run executes every lane to completion (halt or MaxInsts), interleaving
 // lanes in wall-clock order, and returns the collected results.
 func (s *System) Run() (*Result, error) {
+	if s.cfg.Spec != nil {
+		s.initSpec()
+	}
 	for {
 		l := s.nextLane()
 		if l == nil {
 			break
 		}
-		if err := s.runSegment(l); err != nil {
+		var err error
+		if l.spec != nil && l.spec.mode == claimRecord {
+			err = s.runSegmentSpec(l)
+		} else {
+			// Replay lanes (l.spec in claimReplay mode) run this same
+			// loop: it re-cuts segment boundaries live, drawing effects
+			// from the recorded stream via specNext.
+			err = s.runSegment(l)
+		}
+		if err != nil {
 			// Drain in-flight checks so no worker goroutine outlives
-			// the failed run.
+			// the failed run, and unwind speculation claims.
 			for _, l := range s.lanes {
 				s.forceAll(l)
+			}
+			if s.cfg.Spec != nil {
+				s.abortSpec()
 			}
 			return nil, err
 		}
@@ -398,6 +421,13 @@ func (s *System) runSegment(l *lane) error {
 		budget += l.proc.w.WarmupInsts
 	}
 	if hart.Halted || (budget > 0 && l.executed >= budget) {
+		s.finishLane(l)
+		return nil
+	}
+	// A replay lane (spec.go) never steps the machine: its effects come
+	// from the recorded stream, and stream exhaustion is its halt.
+	sp := l.spec
+	if sp != nil && sp.cur.done() {
 		s.finishLane(l)
 		return nil
 	}
@@ -464,13 +494,29 @@ func (s *System) runSegment(l *lane) error {
 		capacityLines = s.lslCapacityLines(ck)
 	}
 	l.beginSegment(hart, capacityLines, s.cfg.TimeoutInsts)
+	if sp != nil {
+		// Snapshot the cursor at segment entry so the pending check can
+		// re-walk exactly this segment's effects (pipeline.go).
+		sp.segCur = sp.cur
+	}
 	startNS := l.main.TimeNS()
 
 	// --- functional execution with logging and main-core timing ---
 	var eff emu.Effect
 	reason := BoundaryInvalid
 	for reason == BoundaryInvalid {
-		if err := l.proc.mach.StepHart(l.hart, &eff); err != nil {
+		if sp != nil {
+			ok, err := s.specNext(l, &eff)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// The stream ran dry without a halt or budget boundary:
+				// it cannot be a recording of this workload. Degrade
+				// like any divergence (evict, rerun sequentially).
+				return s.specDiverged(l, nil)
+			}
+		} else if err := l.proc.mach.StepHart(l.hart, &eff); err != nil {
 			return fmt.Errorf("core: lane %d: %w", l.idx, err)
 		}
 		l.main.Consume(&eff)
@@ -512,6 +558,12 @@ func (s *System) runSegment(l *lane) error {
 		default:
 			reason = l.counter.Tick(pushed)
 		}
+	}
+
+	if sp != nil && reason == BoundaryHalt {
+		// The whole recorded stream has been stitched; collection may
+		// publish a micro trace recorded over this replay.
+		sp.sawEnd = true
 	}
 
 	// --- close the checkpoint ---
@@ -782,6 +834,11 @@ func (s *System) collect() *Result {
 	for _, l := range s.lanes {
 		s.forceAll(l)
 	}
+	// Joins also record the verdicts a recorded stream replays, so
+	// publication must follow the join sweep.
+	if s.cfg.Spec != nil {
+		s.publishSpec()
+	}
 	r := &Result{MaxLinkUtilisation: s.mesh.MaxUtilisation(), Maintenance: s.tracker}
 	if s.llcExtraN > 0 {
 		r.AvgLLCExtraNS = s.llcExtraSum / float64(s.llcExtraN)
@@ -865,11 +922,23 @@ func (s *System) traceCheck(l *lane, ck *Checker, seg *Segment, startNS, durNS f
 		})
 }
 
-// Run builds and runs a system in one call.
+// Run builds and runs a system in one call. When speculation is
+// enabled and a divergence escapes the in-run fallback, the whole
+// system is rebuilt and rerun sequentially without speculation — the
+// continuity check turns any speculation defect into wall-clock cost,
+// never a result difference.
 func Run(cfg Config, workloads []Workload) (*Result, error) {
 	s, err := NewSystem(cfg, workloads)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	res, err := s.Run()
+	if err != nil && cfg.Spec != nil && errors.Is(err, ErrSpecDiverged) {
+		cfg.Spec = nil
+		if s, err = NewSystem(cfg, workloads); err != nil {
+			return nil, err
+		}
+		return s.Run()
+	}
+	return res, err
 }

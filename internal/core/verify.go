@@ -28,6 +28,23 @@ type checkEnv interface {
 	pos() int
 }
 
+// CheckScratch holds the per-checker verification state CheckSegment
+// needs — comparator, checkpoint unit, replay environment, hart — so
+// steady-state verification allocates nothing: each check resets the
+// scratch in place instead of building fresh objects. One scratch must
+// not be shared by concurrent checks (each Checker owns one).
+type CheckScratch struct {
+	lsc  LSC
+	rcu  RCU
+	env  CheckerEnv
+	hart emu.Hart
+	// eff is the replay loop's effect buffer. It lives here rather than
+	// on runCheck's stack because the interceptor interface and the sink
+	// closure defeat escape analysis: a stack local would heap-allocate
+	// once per check.
+	eff emu.Effect
+}
+
 // CheckSegment replays one segment on a checker: re-executes the
 // instruction stream from the start register checkpoint with loads served
 // from the log, compares every address/size/store-datum (LSC) or digest
@@ -36,13 +53,25 @@ type checkEnv interface {
 // non-nil, injects faults into the checker's own execution (as in the
 // paper's section VII-B methodology). sink, if non-nil, receives every
 // replayed effect so a checker-core timing model can consume the stream.
+//
+//paralint:hotpath
+func (cs *CheckScratch) CheckSegment(prog *isa.Program, seg *Segment, hashMode bool, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
+	// Reset in place. Mismatches stays nil until a mismatch actually
+	// records (faulty runs only); the digest buffer keeps its capacity.
+	cs.lsc.Mismatches = nil
+	cs.lsc.Compares = 0
+	buf := cs.rcu.hasher.buf[:0]
+	cs.rcu = RCU{hashMode: hashMode, hasher: hashState{buf: buf}}
+	cs.env = CheckerEnv{logCursor: logCursor{seg: seg}, lsc: &cs.lsc, rcu: &cs.rcu}
+	cs.hart = emu.Hart{ID: seg.Hart, State: seg.Start}
+	return runCheck(prog, &cs.hart, seg, nil, &cs.env, &cs.lsc, &cs.rcu, intc, sink, &cs.eff)
+}
+
+// CheckSegment is the scratch-free convenience form (one-shot callers,
+// fault-injection paths); hot paths hold a CheckScratch instead.
 func CheckSegment(prog *isa.Program, seg *Segment, hashMode bool, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
-	lsc := &LSC{}
-	rcu := NewRCU(hashMode)
-	env := NewCheckerEnv(seg, lsc, rcu)
-	hart := &emu.Hart{ID: seg.Hart, State: seg.Start}
-	endOK := func(got *emu.ArchState) bool { return rcu.Compare(&seg.End, got) }
-	return runCheck(prog, hart, seg, endOK, env, lsc, rcu, intc, sink)
+	var cs CheckScratch
+	return cs.CheckSegment(prog, seg, hashMode, intc, sink)
 }
 
 // CheckSegmentDivergent replays one segment as the decorrelated variant:
@@ -59,26 +88,26 @@ func CheckSegmentDivergent(plan *DivergentPlan, mem *emu.Memory, seg *Segment, i
 	env := NewDivergentEnv(plan, mem, seg, lsc)
 	start := plan.PermuteState(&seg.Start)
 	hart := &emu.Hart{ID: seg.Hart, State: start}
-	endOK := func(got *emu.ArchState) bool { return plan.EndMatches(&seg.End, got) }
-	return runCheck(plan.Variant, hart, seg, endOK, env, lsc, rcu, intc, sink)
+	var eff emu.Effect
+	return runCheck(plan.Variant, hart, seg, plan, env, lsc, rcu, intc, sink, &eff)
 }
 
 // runCheck is the single verification loop both check modes share: run
-// the hart to the checkpointed instruction count over env, then apply the
-// induction checks (endOK register compare, digest or leftover-log
-// check).
+// the hart to the checkpointed instruction count over env, then apply
+// the induction checks (end register compare — through the plan's
+// permutation in divergent mode, bitwise via the RCU otherwise — digest
+// or leftover-log check).
 //
 //paralint:hotpath
-func runCheck(prog *isa.Program, hart *emu.Hart, seg *Segment, endOK func(*emu.ArchState) bool, env checkEnv, lsc *LSC, rcu *RCU, intc emu.Interceptor, sink func(*emu.Effect)) CheckResult {
+func runCheck(prog *isa.Program, hart *emu.Hart, seg *Segment, plan *DivergentPlan, env checkEnv, lsc *LSC, rcu *RCU, intc emu.Interceptor, sink func(*emu.Effect), eff *emu.Effect) CheckResult {
 	res := CheckResult{}
 
-	var eff emu.Effect
 	for res.Insts < seg.Insts {
 		if hart.Halted {
 			lsc.record(Mismatch{Kind: MismatchDivergence, EntryIdx: env.pos()})
 			break
 		}
-		if err := hart.Step(prog, env, intc, &eff); err != nil {
+		if err := hart.Step(prog, env, intc, eff); err != nil {
 			if errors.Is(err, errLogExhausted) {
 				lsc.record(Mismatch{Kind: MismatchLogExhausted, EntryIdx: env.pos()})
 			} else {
@@ -88,14 +117,22 @@ func runCheck(prog *isa.Program, hart *emu.Hart, seg *Segment, endOK func(*emu.A
 		}
 		res.Insts++
 		if sink != nil {
-			sink(&eff)
+			sink(eff)
 		}
 	}
 
 	// Induction step: the end register file must equal the start state of
 	// the next segment as recorded by the main core.
-	if res.Insts == seg.Insts && !endOK(&hart.State) {
-		lsc.record(Mismatch{Kind: MismatchRegFile, EntryIdx: env.pos()})
+	if res.Insts == seg.Insts {
+		endOK := false
+		if plan != nil {
+			endOK = plan.EndMatches(&seg.End, &hart.State)
+		} else {
+			endOK = rcu.Compare(&seg.End, &hart.State)
+		}
+		if !endOK {
+			lsc.record(Mismatch{Kind: MismatchRegFile, EntryIdx: env.pos()})
+		}
 	}
 	if rcu.HashMode() {
 		if got := rcu.Digest(); got != seg.Digest {

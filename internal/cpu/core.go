@@ -62,6 +62,13 @@ type Core struct {
 	lastCommit  float64
 	commitSlots int
 
+	// Micro-trace hooks (microtrace.go). recTrace, when non-nil, records
+	// every private-cache hit level and branch verdict; curTrace, when
+	// non-nil, replays them instead of consulting tags and predictor.
+	recTrace *MicroTrace
+	curTrace *MicroTrace
+	curPos   int
+
 	insts  uint64
 	cycles float64 // commit time of the most recent instruction
 
@@ -296,7 +303,15 @@ func (c *Core) Consume(eff *emu.Effect) {
 	// --- fetch ---
 	lineAddr := isa.PCToAddr(eff.PC) / uint64(c.cfg.L1I.LineBytes)
 	if c.redirected || !c.haveLine || lineAddr != c.lastLine {
-		res := c.Hier.Fetch(isa.PCToAddr(eff.PC))
+		var res cachesim.AccessResult
+		if c.curTrace != nil {
+			res = c.Hier.FetchAtLevel(isa.PCToAddr(eff.PC), int(c.microNext()))
+		} else {
+			res = c.Hier.Fetch(isa.PCToAddr(eff.PC))
+			if c.recTrace != nil {
+				c.recTrace.record(uint8(res.Level))
+			}
+		}
 		if res.Level > 1 {
 			// Miss: the front end stalls for the full fill latency.
 			c.nextFetch += res.TotalCycles(c.FreqGHz)
@@ -362,7 +377,20 @@ func (c *Core) Consume(eff *emu.Effect) {
 	// --- branch resolution ---
 	if d.Flags&isa.DecBranch != 0 {
 		resolveAt := done
-		if correct := c.BP.Resolve(in.Op, eff.PC, eff.Taken, eff.NextPC); !correct {
+		var correct bool
+		if c.curTrace != nil {
+			correct = c.microNext() != 0
+		} else {
+			correct = c.BP.Resolve(in.Op, eff.PC, eff.Taken, eff.NextPC)
+			if c.recTrace != nil {
+				b := uint8(0)
+				if correct {
+					b = 1
+				}
+				c.recTrace.record(b)
+			}
+		}
+		if !correct {
 			redirect := resolveAt + float64(c.cfg.FrontendDepth)
 			if redirect > c.nextFetch {
 				c.nextFetch = redirect
@@ -431,7 +459,15 @@ func (c *Core) loadDone(eff *emu.Effect, start float64) float64 {
 		if op.Kind != emu.MemLoad {
 			continue
 		}
-		res := c.Hier.Data(op.Addr, false)
+		var res cachesim.AccessResult
+		if c.curTrace != nil {
+			res = c.Hier.DataAtLevel(op.Addr, false, int(c.microNext()))
+		} else {
+			res = c.Hier.Data(op.Addr, false)
+			if c.recTrace != nil {
+				c.recTrace.record(uint8(res.Level))
+			}
+		}
 		lat := res.TotalCycles(c.FreqGHz)
 		s := start
 		if res.Level > 1 {
@@ -464,7 +500,15 @@ func (c *Core) storeAtCommit(eff *emu.Effect, commit float64) {
 		if op.Kind != emu.MemStore {
 			continue
 		}
-		res := c.Hier.Data(op.Addr, true)
+		var res cachesim.AccessResult
+		if c.curTrace != nil {
+			res = c.Hier.DataAtLevel(op.Addr, true, int(c.microNext()))
+		} else {
+			res = c.Hier.Data(op.Addr, true)
+			if c.recTrace != nil {
+				c.recTrace.record(uint8(res.Level))
+			}
+		}
 		if res.Level > 1 {
 			// Write misses allocate via the MSHRs but do not stall
 			// commit (write buffer); they do consume an MSHR slot.

@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"testing"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// driveCore streams prog's effects through core, recording or replaying
+// a micro trace, and returns the final cycle count.
+func driveCore(t *testing.T, core *Core, prog *isa.Program) float64 {
+	t.Helper()
+	if _, err := emu.RunProgram(prog, 0, func(_ int, e *emu.Effect) error {
+		core.Consume(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return core.Cycles()
+}
+
+// TestMicroTraceReplayBitExact: a core replaying a recorded micro trace
+// must produce bit-identical timing to the live run, with the private
+// caches and predictor never consulted — including for a cache-pressure
+// workload where hit levels actually vary.
+func TestMicroTraceReplayBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"ilp", ilpProgram(500)},
+		{"chase", pointerChase(512, 3000)},
+		{"fdiv", fdivProgram(200)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			live := MustNewCore(X2(), 3.0, ModeMain)
+			tr := &MicroTrace{}
+			live.SetMicroRecord(tr)
+			want := driveCore(t, live, tc.prog)
+			if tr.Len() == 0 {
+				t.Fatal("no events recorded")
+			}
+
+			rep := MustNewCore(X2(), 3.0, ModeMain)
+			rep.SetMicroReplay(tr)
+			got := driveCore(t, rep, tc.prog)
+			if got != want {
+				t.Errorf("replay cycles %v != live %v", got, want)
+			}
+			if rep.Insts() != live.Insts() {
+				t.Errorf("replay insts %d != live %d", rep.Insts(), live.Insts())
+			}
+			if rep.curPos != tr.Len() {
+				t.Errorf("cursor consumed %d of %d events", rep.curPos, tr.Len())
+			}
+		})
+	}
+}
+
+// TestMicroTraceReplayAcrossFrequency: hit levels and branch verdicts
+// are frequency-independent, so one trace must replay a different DVFS
+// point bit-exactly (matching a live run at that frequency).
+func TestMicroTraceReplayAcrossFrequency(t *testing.T) {
+	prog := pointerChase(256, 2000)
+
+	rec := MustNewCore(X2(), 3.0, ModeMain)
+	tr := &MicroTrace{}
+	rec.SetMicroRecord(tr)
+	driveCore(t, rec, prog)
+
+	want := driveCore(t, MustNewCore(X2(), 1.5, ModeMain), prog)
+	rep := MustNewCore(X2(), 1.5, ModeMain)
+	rep.SetMicroReplay(tr)
+	if got := driveCore(t, rep, prog); got != want {
+		t.Errorf("cross-frequency replay cycles %v != live %v", got, want)
+	}
+}
+
+// TestGeometryKeyDiscriminates: distinct cache/predictor geometries get
+// distinct keys; pipeline-width differences do not split the key.
+func TestGeometryKeyDiscriminates(t *testing.T) {
+	x2, a510 := X2(), A510()
+	if GeometryKey(&x2) == GeometryKey(&a510) {
+		t.Error("X2 and A510 share a geometry key")
+	}
+	wide := x2
+	wide.IssueWidth++
+	wide.FetchWidth++
+	if GeometryKey(&x2) != GeometryKey(&wide) {
+		t.Error("pipeline width split the geometry key")
+	}
+}

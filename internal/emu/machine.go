@@ -91,6 +91,11 @@ func NewMachine(prog *isa.Program, seed uint64) (*Machine, error) {
 	}
 	mem := NewMemory()
 	mem.WriteBytes(prog.DataBase, prog.Data)
+	return newMachine(prog, mem, seed), nil
+}
+
+// newMachine creates one hart per entry point over mem.
+func newMachine(prog *isa.Program, mem *Memory, seed uint64) *Machine {
 	m := &Machine{Prog: prog, Mem: mem, dec: prog.Decoded()}
 	for i, entry := range prog.Entries {
 		h := NewHart(i, entry)
@@ -98,7 +103,7 @@ func NewMachine(prog *isa.Program, seed uint64) (*Machine, error) {
 		m.Harts = append(m.Harts, h)
 		m.Env = append(m.Env, NewMainEnv(mem, seed+uint64(i)*0x9E37))
 	}
-	return m, nil
+	return m
 }
 
 // Running reports whether any hart is still live.

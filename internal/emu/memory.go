@@ -25,10 +25,18 @@ type page [pageSize]byte
 // programs are interleaved deterministically on one goroutine.
 type Memory struct {
 	pages map[uint64]*page
+	// ro marks pages shared with a snapshot (Snapshot /
+	// NewMemoryFromSnapshot): a write must copy such a page into a
+	// private one first. nil until the first snapshot, so memories that
+	// never snapshot pay a single nil check per write.
+	ro map[uint64]bool
 	// One-entry page cache: accesses are heavily page-local, so most
-	// loads and stores skip the map lookup entirely.
+	// loads and stores skip the map lookup entirely. lastRO mirrors the
+	// ro status of the cached page so the write path never scribbles on
+	// a shared page through the cache.
 	lastPN   uint64
 	lastPage *page
+	lastRO   bool
 }
 
 // NewMemory returns an empty memory.
@@ -36,19 +44,40 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
-func (m *Memory) pageFor(addr uint64, create bool) *page {
+// pageFor is the read-path lookup: nil when the page is unmapped.
+func (m *Memory) pageFor(addr uint64) *page {
 	pn := addr >> pageBits
 	if p := m.lastPage; p != nil && pn == m.lastPN {
 		return p
 	}
 	p := m.pages[pn]
-	if p == nil && create {
-		p = new(page)
-		m.pages[pn] = p
-	}
 	if p != nil {
 		m.lastPN, m.lastPage = pn, p
+		m.lastRO = m.ro != nil && m.ro[pn]
 	}
+	return p
+}
+
+// pageForWrite returns a writable page for addr, creating it when
+// unmapped and copying it first when shared with a snapshot.
+func (m *Memory) pageForWrite(addr uint64) *page {
+	pn := addr >> pageBits
+	if p := m.lastPage; p != nil && pn == m.lastPN && !m.lastRO {
+		return p
+	}
+	p := m.pages[pn]
+	switch {
+	case p == nil:
+		p = new(page)
+		m.pages[pn] = p
+	case m.ro != nil && m.ro[pn]:
+		cp := new(page)
+		*cp = *p
+		m.pages[pn] = cp
+		delete(m.ro, pn)
+		p = cp
+	}
+	m.lastPN, m.lastPage, m.lastRO = pn, p, false
 	return p
 }
 
@@ -61,7 +90,7 @@ func (m *Memory) Load(addr uint64, size uint8) (uint64, error) {
 	// Fast path: access within one page.
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		p := m.pageFor(addr, false)
+		p := m.pageFor(addr)
 		if p == nil {
 			return 0, nil
 		}
@@ -86,7 +115,7 @@ func (m *Memory) Load(addr uint64, size uint8) (uint64, error) {
 }
 
 func (m *Memory) loadByte(addr uint64) byte {
-	p := m.pageFor(addr, false)
+	p := m.pageFor(addr)
 	if p == nil {
 		return 0
 	}
@@ -100,7 +129,7 @@ func (m *Memory) Store(addr uint64, size uint8, val uint64) error {
 	}
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
-		p := m.pageFor(addr, true)
+		p := m.pageForWrite(addr)
 		switch size {
 		case 1:
 			p[off] = byte(val)
@@ -114,7 +143,7 @@ func (m *Memory) Store(addr uint64, size uint8, val uint64) error {
 		return nil
 	}
 	for i := uint8(0); i < size; i++ {
-		p := m.pageFor(addr+uint64(i), true)
+		p := m.pageForWrite(addr + uint64(i))
 		p[(addr+uint64(i))&(pageSize-1)] = byte(val >> (8 * i))
 	}
 	return nil
@@ -130,7 +159,7 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 		if uint64(len(data)) < n {
 			n = uint64(len(data))
 		}
-		p := m.pageFor(addr, true)
+		p := m.pageForWrite(addr)
 		copy(p[off:off+n], data[:n])
 		addr += n
 		data = data[n:]
@@ -147,7 +176,7 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 		if uint64(len(dst)) < span {
 			span = uint64(len(dst))
 		}
-		if p := m.pageFor(addr, false); p != nil {
+		if p := m.pageFor(addr); p != nil {
 			copy(dst[:span], p[off:off+span])
 		}
 		addr += span

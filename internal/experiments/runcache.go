@@ -61,7 +61,13 @@ var fingerprintedConfigFields = map[string]bool{
 	// CheckWorkers only changes wall-clock time: the pipelined engine
 	// guarantees byte-identical results at every worker count
 	// (core/pipeline.go), so runs differing only here share one entry.
-	"CheckWorkers":       false,
+	"CheckWorkers": false,
+	// TimeShards and Spec drive the parallel-in-time engine (core/spec.go),
+	// which guarantees byte-identical tables at every shard count and with
+	// or without a speculation cache attached: both are pure wall-clock
+	// knobs, so hashing them would split the cache for no semantic reason.
+	"TimeShards":         false,
+	"Spec":               false,
 	"NoC":                true,
 	"Layout":             true,
 	"LSLTrafficOnNoC":    true,
@@ -139,8 +145,8 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	// 20-22: recovery policy and workload seed. Recovery.Quarantine rides
 	// along inside %+v.
 	fmt.Fprintf(w, "recovery=%+v seed=%v\n", cfg.Recovery, cfg.Seed)
-	// CheckWorkers and Trace are deliberately NOT hashed; see the
-	// fingerprintedConfigFields table for the rationale.
+	// CheckWorkers, TimeShards, Spec and Trace are deliberately NOT
+	// hashed; see the fingerprintedConfigFields table for the rationale.
 }
 
 // workloadsKey renders the workload list's identity. Programs built from

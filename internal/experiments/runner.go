@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"paraverser/internal/core"
 	"paraverser/internal/obs"
@@ -33,6 +34,14 @@ import (
 // NewEngine.
 type Engine struct {
 	sem chan struct{}
+
+	// spec is the engine's shared speculation cache (core/spec.go): runs
+	// that share a functional stream — the same program and window at
+	// different frequencies, worker counts, or table positions — replay
+	// each other's recorded segments instead of re-emulating them.
+	// Attached only to cacheable submissions; results are byte-identical
+	// with or without it.
+	spec *core.SpecCache
 
 	mu    sync.Mutex
 	cache map[runKey]*runCall
@@ -58,11 +67,22 @@ func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	spec := core.NewSpecCache()
+	// core is a deterministic package (no wall clock); the engine injects
+	// one so the speculation layer can report stitch time in wall-clock
+	// observability counters. The reading feeds only the StitchNS stats
+	// counter, never a simulated outcome.
+	//paralint:allow(injected clock feeds the StitchNS observability counter only)
+	spec.SetClock(func() int64 { return time.Now().UnixNano() })
 	return &Engine{
 		sem:   make(chan struct{}, workers),
 		cache: make(map[runKey]*runCall),
+		spec:  spec,
 	}
 }
+
+// SpecStats samples the engine's speculation-cache counters.
+func (e *Engine) SpecStats() obs.SpecSnapshot { return e.spec.Stats() }
 
 // Workers returns the pool bound.
 func (e *Engine) Workers() int { return cap(e.sem) }
@@ -183,6 +203,7 @@ func (f *Future) Wait() (*core.Result, error) {
 func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 	applyCheckWorkers(&cfg)
 	applyTrace(&cfg)
+	e.applySpec(&cfg)
 	e.jobs.Add(1)
 	if !cacheable(&cfg) {
 		c := &runCall{done: make(chan struct{}), ws: ws}
@@ -229,6 +250,7 @@ func (e *Engine) noteHit(c *runCall) {
 func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) *Future {
 	applyCheckWorkers(&cfg)
 	applyTrace(&cfg)
+	e.applySpec(&cfg)
 	e.jobs.Add(1)
 	if cacheable(&cfg) {
 		key := runKey{cfg: fingerprint(&cfg), ws: specKey(bench, insts, warmup)}
@@ -338,6 +360,34 @@ func SetCheckWorkers(n int) { checkWorkers.Store(int64(n)) }
 func applyCheckWorkers(cfg *core.Config) {
 	if cfg.CheckWorkers == 0 {
 		cfg.CheckWorkers = int(checkWorkers.Load())
+	}
+}
+
+// timeShards is the speculation depth applied to submitted configurations
+// that leave Config.TimeShards zero. Like CheckWorkers it only changes
+// wall-clock behaviour (core/spec.go) and is excluded from the cache
+// fingerprint.
+var timeShards atomic.Int64
+
+// SetTimeShards sets how many segments each simulation lane may emulate
+// ahead of its timing stitch (<= 1 emulates inline). Simulated results
+// are byte-identical at any setting.
+func SetTimeShards(n int) { timeShards.Store(int64(n)) }
+
+// applySpec attaches the engine's speculation cache and the process-wide
+// shard depth to a cacheable submission. Fault-injection runs carry
+// interceptors whose per-run mutable state must never be shared, and the
+// speculation engine declines them anyway (laneSpecEligible); leaving
+// them untouched keeps that property obvious here.
+func (e *Engine) applySpec(cfg *core.Config) {
+	if !cacheable(cfg) {
+		return
+	}
+	if cfg.Spec == nil {
+		cfg.Spec = e.spec
+	}
+	if cfg.TimeShards == 0 {
+		cfg.TimeShards = int(timeShards.Load())
 	}
 }
 

@@ -76,6 +76,44 @@ func TestWorkerCountDeterminism(t *testing.T) {
 	}
 }
 
+// TestTimeShardDeterminism asserts the parallel-in-time engine's
+// contract at the experiment level: fig. 6 tables and the exported
+// metrics are byte-identical at every speculation depth — each engine
+// carries a fresh speculation cache, so every depth exercises the
+// record path, and within each engine the shared baselines exercise
+// replay.
+func TestTimeShardDeterminism(t *testing.T) {
+	defer SetTimeShards(0)
+	sc := tinyScale()
+	var want6, wantMetrics string
+	for i, shards := range []int{1, 2, 8} {
+		SetTimeShards(shards)
+		e := NewEngine(2)
+		r6, err := fig6(e, sc)
+		if err != nil {
+			t.Fatalf("fig6 at %d shards: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		if err := e.MetricsSnapshot().WriteJSON(&buf); err != nil {
+			t.Fatalf("metrics snapshot at %d shards: %v", shards, err)
+		}
+		if i == 0 {
+			want6, wantMetrics = r6.Table(), buf.String()
+			continue
+		}
+		if got := r6.Table(); got != want6 {
+			t.Errorf("fig6 table differs between 1 and %d shards:\n%s\n--- vs ---\n%s", shards, got, want6)
+		}
+		if buf.String() != wantMetrics {
+			t.Errorf("exported metrics differ between 1 and %d shards", shards)
+		}
+		if st := e.SpecStats(); st.StreamsRecorded == 0 || st.StreamsReplayed == 0 {
+			t.Errorf("at %d shards the speculation cache recorded %d and replayed %d streams; the figure must exercise both paths",
+				shards, st.StreamsRecorded, st.StreamsReplayed)
+		}
+	}
+}
+
 // TestRunCacheMemoizes asserts a second identical figure performs zero
 // new simulations: every run is served from the engine's result cache.
 func TestRunCacheMemoizes(t *testing.T) {

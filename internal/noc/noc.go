@@ -40,14 +40,29 @@ func (c Config) LinkGBs() float64 { return c.widthBytes() * c.FreqGHz }
 // Coord addresses a mesh crosspoint.
 type Coord struct{ Row, Col int }
 
-// link is a directed edge between adjacent crosspoints.
-type link struct{ From, To Coord }
+// Outgoing link directions from a crosspoint.
+const (
+	dirEast  = iota // +Col
+	dirWest         // -Col
+	dirSouth        // +Row
+	dirNorth        // -Row
+	numDirs
+)
 
 // Mesh is the fabric with its current offered load.
 type Mesh struct {
 	cfg Config
-	// loadGBs is the offered load per directed link in bytes/ns.
-	loadGBs map[link]float64
+	// loadGBs is the offered load per directed link in bytes/ns,
+	// indexed densely by linkIndex — numDirs slots per crosspoint, one
+	// per outgoing direction — so the latency queries on the
+	// per-segment timing path hash nothing and allocate nothing.
+	loadGBs []float64
+	linkGBs float64
+	// scratch backs route's returned slice. A mesh belongs to one
+	// System and is only queried from its orchestrator goroutine
+	// (pipelined checks snapshot their latencies at dispatch), so a
+	// single reusable buffer is safe.
+	scratch []int32
 }
 
 // New builds an empty mesh.
@@ -55,7 +70,16 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.WidthBits <= 0 || cfg.FreqGHz <= 0 {
 		return nil, fmt.Errorf("noc: invalid config %+v", cfg)
 	}
-	return &Mesh{cfg: cfg, loadGBs: make(map[link]float64)}, nil
+	return &Mesh{
+		cfg:     cfg,
+		loadGBs: make([]float64, cfg.Rows*cfg.Cols*numDirs),
+		linkGBs: cfg.LinkGBs(),
+	}, nil
+}
+
+// linkIndex addresses the directed link leaving (row, col) in dir.
+func (m *Mesh) linkIndex(row, col, dir int) int32 {
+	return int32((row*m.cfg.Cols+col)*numDirs + dir)
 }
 
 // MustNew is New for static configurations.
@@ -72,35 +96,34 @@ func (m *Mesh) Config() Config { return m.cfg }
 
 // ResetLoad clears all offered load.
 func (m *Mesh) ResetLoad() {
-	for k := range m.loadGBs {
-		delete(m.loadGBs, k)
-	}
+	clear(m.loadGBs)
 }
 
-// route returns the XY route (X first) as a sequence of directed links.
-func (m *Mesh) route(from, to Coord) []link {
-	var links []link
+// route returns the XY route (X first) as directed link indices. The
+// slice is backed by a buffer reused across calls — valid until the
+// next route/AddFlow/Latency query on this mesh.
+func (m *Mesh) route(from, to Coord) []int32 {
+	links := m.scratch[:0]
 	cur := from
 	for cur.Col != to.Col {
-		next := cur
 		if to.Col > cur.Col {
-			next.Col++
+			links = append(links, m.linkIndex(cur.Row, cur.Col, dirEast))
+			cur.Col++
 		} else {
-			next.Col--
+			links = append(links, m.linkIndex(cur.Row, cur.Col, dirWest))
+			cur.Col--
 		}
-		links = append(links, link{cur, next})
-		cur = next
 	}
 	for cur.Row != to.Row {
-		next := cur
 		if to.Row > cur.Row {
-			next.Row++
+			links = append(links, m.linkIndex(cur.Row, cur.Col, dirSouth))
+			cur.Row++
 		} else {
-			next.Row--
+			links = append(links, m.linkIndex(cur.Row, cur.Col, dirNorth))
+			cur.Row--
 		}
-		links = append(links, link{cur, next})
-		cur = next
 	}
+	m.scratch = links
 	return links
 }
 
@@ -119,8 +142,8 @@ func (m *Mesh) AddFlow(from, to Coord, bytesPerNS float64) {
 
 // utilisation returns rho for one link, capped just under saturation so
 // the M/M/1 term stays finite (overload shows up as a very large delay).
-func (m *Mesh) utilisation(l link) float64 {
-	rho := m.loadGBs[l] / m.cfg.LinkGBs()
+func (m *Mesh) utilisation(l int32) float64 {
+	rho := m.loadGBs[l] / m.linkGBs
 	if rho > 0.98 {
 		rho = 0.98
 	}
@@ -132,7 +155,7 @@ func (m *Mesh) utilisation(l link) float64 {
 func (m *Mesh) MaxUtilisation() float64 {
 	var max float64
 	for l := range m.loadGBs {
-		if u := m.utilisation(l); u > max {
+		if u := m.utilisation(int32(l)); u > max {
 			max = u
 		}
 	}

@@ -11,10 +11,12 @@ func TestRouteXY(t *testing.T) {
 	if len(links) != 5 {
 		t.Fatalf("route length %d, want 5", len(links))
 	}
-	// X first: the first three hops move along columns.
+	// X first: the first three hops leave crosspoints in row 0, heading
+	// east (link indices are dense: (row*Cols+col)*numDirs + dir).
 	for i := 0; i < 3; i++ {
-		if links[i].From.Row != 0 {
-			t.Errorf("hop %d not in row 0: %+v", i, links[i])
+		want := m.linkIndex(0, i, dirEast)
+		if links[i] != want {
+			t.Errorf("hop %d is link %d, want %d (row 0 col %d east)", i, links[i], want, i)
 		}
 	}
 	if m.Hops(Coord{0, 0}, Coord{2, 3}) != 5 {

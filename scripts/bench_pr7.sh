@@ -1,0 +1,87 @@
+#!/bin/sh
+# bench_pr7.sh — record the PR 7 (parallel-in-time speculation) numbers.
+#
+# Runs the hot-path micro-benchmarks (-benchmem), times the quick-scale
+# fig6 and all suites end to end at the default shard count, and times
+# quick all across the -time-shards sweep to show shard-count scaling.
+# Results go to BENCH_pr7.json in the repo root. The "baseline" block is
+# the PR 3 recording (BENCH_pr3.json, commit 0394a20 re-measure); pass
+# BASELINE_BIN=<path to a pre-PR paraverser binary> to re-measure the
+# wall-clock rows on this machine, otherwise the recorded numbers are
+# kept. Wall clock is machine- and core-count-dependent: the speculative
+# producer runs on a second core, so single-CPU boxes see only the
+# stream-replay and stitch-path savings.
+set -eu
+cd "$(dirname "$0")/.."
+
+bench() { # bench <pkg> <name> -> "ns_op allocs_op extra"
+	go test "$1" -run '^$' -bench "^$2\$" -benchmem -benchtime=2s 2>/dev/null |
+		awk -v name="$2" '$1 ~ "^"name {
+			extra = ""
+			for (i = 4; i <= NF; i++) if ($(i+1) == "Minst/s") extra = $i
+			for (i = 4; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+			print $3, allocs, (extra == "" ? "null" : extra)
+		}'
+}
+
+wallclock() { # wallclock <binary> <args...> -> seconds
+	start=$(date +%s.%N)
+	"$@" >/dev/null 2>&1
+	end=$(date +%s.%N)
+	echo "$start $end" | awk '{printf "%.2f", $2 - $1}'
+}
+
+echo "building..." >&2
+go build -o /tmp/paraverser_bench ./cmd/paraverser
+
+echo "micro-benchmarks..." >&2
+set -- $(bench ./internal/emu BenchmarkHartStep)
+step_ns=$1 step_allocs=$2
+set -- $(bench ./internal/cpu BenchmarkCoreConsume)
+consume_ns=$1 consume_allocs=$2
+set -- $(bench ./internal/core BenchmarkCheckSegment)
+check_ns=$1 check_allocs=$2 check_minst=$3
+
+echo "quick fig6..." >&2
+fig6_s=$(wallclock /tmp/paraverser_bench -quick fig6)
+echo "quick all (default shards)..." >&2
+all_s=$(wallclock /tmp/paraverser_bench -quick all)
+echo "quick all -time-shards 1..." >&2
+all_s1=$(wallclock /tmp/paraverser_bench -quick -time-shards 1 all)
+echo "quick all -time-shards 8..." >&2
+all_s8=$(wallclock /tmp/paraverser_bench -quick -time-shards 8 -j 8 all)
+
+base_fig6=4.15
+base_all=22.89
+if [ -n "${BASELINE_BIN:-}" ]; then
+	echo "baseline quick fig6..." >&2
+	base_fig6=$(wallclock "$BASELINE_BIN" -quick fig6)
+	echo "baseline quick all..." >&2
+	base_all=$(wallclock "$BASELINE_BIN" -quick all)
+fi
+
+speedup=$(echo "$base_all $all_s" | awk '{printf "%.2f", $1 / $2}')
+
+cat > BENCH_pr7.json <<EOF
+{
+  "benchmarks": {
+    "BenchmarkHartStep":     {"ns_op": $step_ns, "allocs_op": $step_allocs},
+    "BenchmarkCoreConsume":  {"ns_op": $consume_ns, "allocs_op": $consume_allocs},
+    "BenchmarkCheckSegment": {"ns_op": $check_ns, "allocs_op": $check_allocs, "minst_per_s": $check_minst}
+  },
+  "wallclock_s": {
+    "quick_fig6": $fig6_s,
+    "quick_all": $all_s,
+    "quick_all_time_shards_1": $all_s1,
+    "quick_all_time_shards_8_j8": $all_s8
+  },
+  "baseline": {
+    "commit": "0394a20",
+    "quick_fig6": $base_fig6,
+    "quick_all": $base_all
+  },
+  "speedup_quick_all": $speedup
+}
+EOF
+echo "wrote BENCH_pr7.json:" >&2
+cat BENCH_pr7.json
