@@ -72,6 +72,7 @@ func run(args []string) int {
 	workers := fs.Int("j", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
 	timeShards := fs.Int("time-shards", defaultTimeShards(), "segments emulated speculatively ahead of each run's timing stitch (1 = inline; results are identical at any setting)")
+	blockExec := fs.Bool("block-exec", true, "run emulation and checker replay through the block-compiled engine (results are identical either way)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := fs.String("metrics-out", "", "write the deterministic run-metrics snapshot as JSON to this file on exit")
@@ -149,6 +150,7 @@ func run(args []string) int {
 	experiments.SetWorkers(*workers)
 	experiments.SetCheckWorkers(*checkWorkers)
 	experiments.SetTimeShards(*timeShards)
+	experiments.SetBlockExec(*blockExec)
 
 	var trace *obs.Trace
 	if *traceOut != "" {

@@ -76,13 +76,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	// One pass for the target set, one -deps pass to compile export data
 	// for every dependency. -e tolerates broken packages so we can report
-	// them all rather than stopping at the first.
-	targets, err := runGoList(dir, append([]string{"list", "-e",
+	// them all rather than stopping at the first. -pgo=off keeps a main
+	// package's default.pgo from specialising its dependency graph:
+	// PGO-variant packages carry no export data under their plain import
+	// paths, and type-checking is profile-independent anyway.
+	targets, err := runGoList(dir, append([]string{"list", "-e", "-pgo=off",
 		"-json=ImportPath,Dir,GoFiles,Standard,Incomplete,Error"}, patterns...)...)
 	if err != nil {
 		return nil, err
 	}
-	deps, err := runGoList(dir, append([]string{"list", "-e", "-export", "-deps",
+	deps, err := runGoList(dir, append([]string{"list", "-e", "-pgo=off", "-export", "-deps",
 		"-json=ImportPath,Export,Standard,Incomplete,Error"}, patterns...)...)
 	if err != nil {
 		return nil, err

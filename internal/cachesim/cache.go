@@ -5,7 +5,10 @@
 // log entries, a log-end register, and eviction of resident data).
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -59,23 +62,42 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// way is one cache line's bookkeeping. The line's identity — tag, valid
+// bit and the log bit (the extra tag bit of fig. 3 marking a line that
+// holds load-store-log entries rather than a cached copy of memory) —
+// is packed into one key word so the hit scan, which runs for every
+// access of every simulated instruction, is a single comparison per way
+// instead of a tag compare plus two flag loads.
 type way struct {
-	tag   uint64
-	valid bool
-	dirty bool
+	key   uint64 // tag<<2 | wayLog | wayValid
 	lru   uint32
-	// log marks the line as holding load-store-log entries rather than a
-	// cached copy of memory (the extra tag bit of fig. 3).
-	log bool
+	dirty bool
 }
+
+const (
+	wayValid = uint64(1) << 0
+	wayLog   = uint64(1) << 1
+)
 
 // Cache is one set-associative cache. The zero value is not usable; use
 // New.
 type Cache struct {
-	cfg      Config
-	sets     [][]way
+	cfg Config
+	// ways holds every line, set-contiguous: set s occupies
+	// ways[s*Ways : (s+1)*Ways]. A flat slice saves the per-access
+	// pointer chase of a slice-of-slices.
+	ways     []way
 	lruClock uint32
 	Stats    Stats
+
+	// Derived geometry, precomputed once in New: setIndex and tagOf run
+	// for every access of every simulated instruction, and recomputing
+	// Config.Sets() there costs two integer divisions per lookup.
+	lineShift int32 // log2(LineBytes), or -1 when not a power of two
+	setMask   uint64
+	setShift  uint32 // log2(Sets); Sets is always a power of two
+	nsets     int
+	nways     int
 
 	// logEnd is the Load-Store Log End register: the number of lines
 	// currently holding log entries, filled linearly from line 0
@@ -88,11 +110,19 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sets := make([][]way, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]way, cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		ways:      make([]way, cfg.Lines()),
+		lineShift: -1,
+		setMask:   uint64(cfg.Sets() - 1),
+		setShift:  uint32(bits.TrailingZeros(uint(cfg.Sets()))),
+		nsets:     cfg.Sets(),
+		nways:     cfg.Ways,
 	}
-	return &Cache{cfg: cfg, sets: sets}, nil
+	if lb := cfg.LineBytes; lb&(lb-1) == 0 {
+		c.lineShift = int32(bits.TrailingZeros(uint(lb)))
+	}
+	return c, nil
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -107,12 +137,23 @@ func MustNew(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-func (c *Cache) setIndex(addr uint64) uint64 {
-	return (addr / uint64(c.cfg.LineBytes)) & uint64(c.cfg.Sets()-1)
+// lineOf returns the line index of addr: a shift for power-of-two line
+// sizes (every shipped geometry), a division otherwise.
+func (c *Cache) lineOf(addr uint64) uint64 {
+	if c.lineShift >= 0 {
+		return addr >> uint(c.lineShift)
+	}
+	return addr / uint64(c.cfg.LineBytes)
 }
 
-func (c *Cache) tagOf(addr uint64) uint64 {
-	return addr / uint64(c.cfg.LineBytes) / uint64(c.cfg.Sets())
+func (c *Cache) setIndex(addr uint64) uint64 { return c.lineOf(addr) & c.setMask }
+
+func (c *Cache) tagOf(addr uint64) uint64 { return c.lineOf(addr) >> c.setShift }
+
+// set returns the ways of addr's set.
+func (c *Cache) set(addr uint64) []way {
+	base := int(c.setIndex(addr)) * c.nways
+	return c.ways[base : base+c.nways]
 }
 
 // Access looks up addr, allocating on miss (write-allocate). It returns
@@ -120,11 +161,11 @@ func (c *Cache) tagOf(addr uint64) uint64 {
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.Stats.Accesses++
 	c.lruClock++
-	set := c.sets[c.setIndex(addr)]
-	tag := c.tagOf(addr)
+	set := c.set(addr)
+	want := c.tagOf(addr)<<2 | wayValid
 	for i := range set {
 		w := &set[i]
-		if w.valid && !w.log && w.tag == tag {
+		if w.key == want {
 			w.lru = c.lruClock
 			if write {
 				w.dirty = true
@@ -133,31 +174,31 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		}
 	}
 	c.Stats.Misses++
-	c.fill(set, tag, write)
+	c.fill(set, want, write)
 	return false
 }
 
 // Probe looks up addr without side effects.
 func (c *Cache) Probe(addr uint64) bool {
-	set := c.sets[c.setIndex(addr)]
-	tag := c.tagOf(addr)
+	set := c.set(addr)
+	want := c.tagOf(addr)<<2 | wayValid
 	for i := range set {
-		if set[i].valid && !set[i].log && set[i].tag == tag {
+		if set[i].key == want {
 			return true
 		}
 	}
 	return false
 }
 
-func (c *Cache) fill(set []way, tag uint64, write bool) {
+func (c *Cache) fill(set []way, want uint64, write bool) {
 	victim := -1
 	var oldest uint32 = ^uint32(0)
 	for i := range set {
 		w := &set[i]
-		if w.log {
+		if w.key&wayLog != 0 {
 			continue // log lines are not eligible replacement victims
 		}
-		if !w.valid {
+		if w.key&wayValid == 0 {
 			victim = i
 			break
 		}
@@ -171,20 +212,18 @@ func (c *Cache) fill(set []way, tag uint64, write bool) {
 		return
 	}
 	w := &set[victim]
-	if w.valid && w.dirty {
+	if w.key&wayValid != 0 && w.dirty {
 		c.Stats.Writebacks++
 	}
-	*w = way{tag: tag, valid: true, dirty: write, lru: c.lruClock}
+	*w = way{key: want, dirty: write, lru: c.lruClock}
 }
 
 // InvalidateAll drops every non-log line (e.g. when a core is handed to a
 // different process).
 func (c *Cache) InvalidateAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			if !set[i].log {
-				set[i] = way{}
-			}
+	for i := range c.ways {
+		if c.ways[i].key&wayLog == 0 {
+			c.ways[i] = way{}
 		}
 	}
 }
@@ -202,18 +241,17 @@ func (c *Cache) LogLines() int { return c.logEnd }
 // resident data in place (fig. 3: filling starts at index 0 and proceeds
 // linearly). It returns false when the log is full.
 func (c *Cache) LogAppendLine() bool {
-	if c.logEnd >= c.cfg.Lines() {
+	if c.logEnd >= len(c.ways) {
 		return false
 	}
-	set := c.sets[c.logEnd%c.cfg.Sets()]
-	w := &set[c.logEnd/c.cfg.Sets()]
-	if w.valid && !w.log {
+	w := &c.ways[(c.logEnd%c.nsets)*c.nways+c.logEnd/c.nsets]
+	if w.key&(wayValid|wayLog) == wayValid {
 		c.Stats.LogEvictions++
 		if w.dirty {
 			c.Stats.Writebacks++
 		}
 	}
-	*w = way{valid: true, log: true, lru: c.lruClock}
+	*w = way{key: wayValid | wayLog, lru: c.lruClock}
 	c.logEnd++
 	return true
 }
@@ -223,8 +261,7 @@ func (c *Cache) LogAppendLine() bool {
 // main-mode work.
 func (c *Cache) LogReset() {
 	for i := 0; i < c.logEnd; i++ {
-		set := c.sets[i%c.cfg.Sets()]
-		set[i/c.cfg.Sets()] = way{}
+		c.ways[(i%c.nsets)*c.nways+i/c.nsets] = way{}
 	}
 	c.logEnd = 0
 }

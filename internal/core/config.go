@@ -81,6 +81,36 @@ type DivergentConfig struct {
 	RegSeed uint64
 }
 
+// BlockExecMode selects the functional execution engine.
+type BlockExecMode uint8
+
+// Block-execution modes. The zero value defers to the process-wide
+// default so existing configurations pick up the block engine without
+// edits.
+const (
+	// BlockExecAuto defers to the runner's process default (on, unless
+	// the CLI passed -block-exec=false).
+	BlockExecAuto BlockExecMode = iota
+	// BlockExecOn runs main-lane emulation and checker replay through
+	// the block-compiled engine.
+	BlockExecOn
+	// BlockExecOff forces the per-instruction engine everywhere.
+	BlockExecOff
+)
+
+func (m BlockExecMode) String() string {
+	switch m {
+	case BlockExecAuto:
+		return "auto"
+	case BlockExecOn:
+		return "on"
+	case BlockExecOff:
+		return "off"
+	default:
+		return "invalid"
+	}
+}
+
 // LaneMain overrides one lane's main-core model.
 type LaneMain struct {
 	CPU     cpu.Config
@@ -225,6 +255,15 @@ type Config struct {
 	// per-segment continuity check with sequential fallback. Excluded
 	// from the run-cache fingerprint.
 	Spec *SpecCache
+	// BlockExec selects the block-compiled execution engine (basic-block
+	// translation with batched effect delivery, emu/block.go). Like
+	// CheckWorkers and TimeShards it changes wall-clock time only —
+	// simulated outcomes are bit-identical on either engine, enforced by
+	// the differential tests in core/blockexec_test.go — so it is
+	// excluded from the run-cache fingerprint. The zero value
+	// (BlockExecAuto) lets the experiments runner apply the process-wide
+	// default, which is on.
+	BlockExec BlockExecMode
 
 	NoC    noc.Config
 	Layout *noc.Layout
@@ -339,6 +378,9 @@ func (c *Config) Validate() error {
 	}
 	if c.TimeShards < 0 {
 		return fmt.Errorf("core: negative time shards %d", c.TimeShards)
+	}
+	if c.BlockExec > BlockExecOff {
+		return fmt.Errorf("core: invalid block-exec mode %d", c.BlockExec)
 	}
 	if err := c.Recovery.Validate(); err != nil {
 		return err

@@ -177,15 +177,40 @@ func (p *pendingCheck) run(s *System) {
 		// it was recorded, so only the checker-core timing needs
 		// computing — off the same reconstructed effect sequence the
 		// main core consumed, re-walked from the segment-entry cursor.
-		var eff emu.Effect
+		// Under the block engine the reconstruction still advances one
+		// effect at a time (it is a table walk, not emulation); only the
+		// timing delivery batches.
 		cu := p.specCur
-		for n := uint64(0); n < p.seg.Insts; n++ {
-			if !cu.next(&eff) {
-				break
+		if s.blockExec {
+			if ck.scratch.batch == nil {
+				ck.scratch.batch = make([]emu.Effect, effectBatchSize)
 			}
-			ck.Core.Consume(&eff)
+			batch := ck.scratch.batch
+			for rem := p.seg.Insts; rem > 0; {
+				n := 0
+				for uint64(n) < rem && n < len(batch) && cu.next(&batch[n]) {
+					n++
+				}
+				if n == 0 {
+					break
+				}
+				ck.Core.ConsumeBatch(batch[:n])
+				rem -= uint64(n)
+			}
+		} else {
+			var eff emu.Effect
+			for n := uint64(0); n < p.seg.Insts; n++ {
+				if !cu.next(&eff) {
+					break
+				}
+				ck.Core.Consume(&eff)
+			}
 		}
 		p.res = CheckResult{OK: true, Insts: p.seg.Insts}
+	} else if s.blockExec {
+		p.res = ck.scratch.CheckSegmentBlocks(p.l.proc.w.Prog, p.seg, s.cfg.HashMode, func(effs []emu.Effect) {
+			ck.Core.ConsumeBatch(effs)
+		})
 	} else {
 		p.res = ck.scratch.CheckSegment(p.l.proc.w.Prog, p.seg, s.cfg.HashMode, nil, func(e *emu.Effect) {
 			ck.Core.Consume(e)

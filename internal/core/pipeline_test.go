@@ -6,6 +6,7 @@ import (
 
 	"paraverser/internal/cpu"
 	"paraverser/internal/emu"
+	"paraverser/internal/isa"
 )
 
 // renderResult flattens every externally observable statistic of a run
@@ -123,10 +124,10 @@ func TestPipelinedCleanAndCovered(t *testing.T) {
 	}
 }
 
-// BenchmarkCheckSegment measures one checker-side segment replay (the
-// unit of work the pipelined engine overlaps with the main lane): a
-// 2000-instruction mixed segment verified end to end.
-func BenchmarkCheckSegment(b *testing.B) {
+// benchSegment packages a 2000-instruction mixed segment for the
+// checker-side replay benchmarks.
+func benchSegment(b *testing.B) (*isa.Program, *Segment) {
+	b.Helper()
 	prog := mixedProgram(1 << 30)
 	mach, err := emu.NewMachine(prog, 1)
 	if err != nil {
@@ -145,9 +146,34 @@ func BenchmarkCheckSegment(b *testing.B) {
 		}
 	}
 	seg.End = hart.State
+	return prog, seg
+}
 
+// BenchmarkCheckSegment measures one checker-side segment replay (the
+// unit of work the pipelined engine overlaps with the main lane) on the
+// block-compiled path the engine runs by default: a 2000-instruction
+// mixed segment verified end to end with batched effect delivery.
+func BenchmarkCheckSegment(b *testing.B) {
+	prog, seg := benchSegment(b)
 	// The scratch lives outside the loop exactly as each Checker holds
 	// one across segments: steady-state verification allocates nothing.
+	var cs CheckScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cs.CheckSegmentBlocks(prog, seg, false, nil)
+		if res.Detected() {
+			b.Fatalf("benchmark segment failed verification: %+v", res.Mismatches)
+		}
+	}
+	b.ReportMetric(float64(seg.Insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkCheckSegmentStep is the per-instruction baseline
+// (BlockExecOff, and the fallback under fault interceptors): the same
+// segment verified through CheckSegment one effect at a time.
+func BenchmarkCheckSegmentStep(b *testing.B) {
+	prog, seg := benchSegment(b)
 	var cs CheckScratch
 	b.ReportAllocs()
 	b.ResetTimer()

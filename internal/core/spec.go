@@ -353,6 +353,12 @@ type specProducer struct {
 	flags []uint8
 	ents  []Entry
 	ops   []MemRec
+
+	// batch is the block-compiled engine's effect buffer (nil when the
+	// engine is off): produce fills it through Machine.RunBlocks and
+	// replays the recording protocol per effect, with the fuel sized so
+	// no boundary can fire before the batch's final effect.
+	batch []emu.Effect
 }
 
 // produce emulates one segment, or returns (nil, nil) at stream end.
@@ -376,62 +382,23 @@ func (p *specProducer) produce() (*recSeg, error) {
 	var eff emu.Effect
 	reason := BoundaryInvalid
 	for reason == BoundaryInvalid {
+		if p.batch != nil {
+			n, err := p.mach.RunBlocks(p.hart, p.batch, p.batchFuel())
+			if err != nil {
+				return nil, fmt.Errorf("core: lane %d: %w", p.laneIdx, err)
+			}
+			for i := 0; i < n; i++ {
+				reason = p.account(&p.batch[i], rs)
+				if reason != BoundaryInvalid && i != n-1 {
+					return nil, fmt.Errorf("core: lane %d: internal: %v boundary fired at instruction %d of a %d-effect speculative batch", p.laneIdx, reason, i+1, n)
+				}
+			}
+			continue
+		}
 		if err := p.mach.StepHart(p.hart, &eff); err != nil {
 			return nil, fmt.Errorf("core: lane %d: %w", p.laneIdx, err)
 		}
-		p.executed++
-		p.sinceIRQ++
-
-		fl := uint8(0)
-		if eff.Taken {
-			fl |= specTaken
-		}
-		if eff.WroteInt {
-			fl |= specWroteInt
-		}
-		if eff.WroteFP {
-			fl |= specWroteFP
-		}
-		if eff.Halted {
-			fl |= specHalted
-		}
-		pushed := 0
-		// Entries are recorded even on unchecked lanes: they carry the
-		// memory operations the effect reconstruction needs.
-		if entry, ok := EntryFromEffectArena(&eff, &p.ops); ok {
-			fl |= specHasEntry
-			p.ents = append(p.ents, entry)
-			if p.checked {
-				pushed = p.lspu.Append(entry)
-				rs.logLines += pushed
-				rs.logBytes += entry.SizeBytes(p.hashMode)
-				if p.hashMode {
-					for i := 0; i < eff.NMem; i++ {
-						m := eff.Mem[i]
-						p.rcu.AbsorbVerification(MemRec{
-							Addr: m.Addr, Size: m.Size,
-							Data: m.Data, Load: m.Kind == emu.MemLoad,
-						})
-					}
-				}
-			}
-		}
-		p.pcs = append(p.pcs, uint32(eff.PC))
-		p.flags = append(p.flags, fl)
-
-		switch {
-		case eff.Halted:
-			reason = BoundaryHalt
-		case p.budget > 0 && p.executed >= p.budget:
-			reason = BoundaryHalt
-		case !p.warmed && p.warmup > 0 && p.executed >= p.warmup:
-			reason = BoundaryInterrupt
-		case p.irqEvery > 0 && p.sinceIRQ >= p.irqEvery:
-			reason = BoundaryInterrupt
-			p.sinceIRQ = 0
-		default:
-			reason = p.counter.Tick(pushed)
-		}
+		reason = p.account(&eff, rs)
 	}
 	if p.checked {
 		rs.logLines += p.lspu.Flush()
@@ -462,6 +429,99 @@ func (p *specProducer) produce() (*recSeg, error) {
 	}
 	rs.entries = ents
 	return rs, nil
+}
+
+// account applies the recording protocol for one committed effect —
+// counters, flag encoding, entry capture, LSL accounting, boundary
+// decision — exactly as the historical produce loop body did.
+//
+//paralint:hotpath
+func (p *specProducer) account(eff *emu.Effect, rs *recSeg) BoundaryReason {
+	p.executed++
+	p.sinceIRQ++
+
+	fl := uint8(0)
+	if eff.Taken {
+		fl |= specTaken
+	}
+	if eff.WroteInt {
+		fl |= specWroteInt
+	}
+	if eff.WroteFP {
+		fl |= specWroteFP
+	}
+	if eff.Halted {
+		fl |= specHalted
+	}
+	pushed := 0
+	// Entries are recorded even on unchecked lanes: they carry the
+	// memory operations the effect reconstruction needs.
+	if entry, ok := EntryFromEffectArena(eff, &p.ops); ok {
+		fl |= specHasEntry
+		//paralint:allow(arena append: scratch is reused across segments)
+		p.ents = append(p.ents, entry)
+		if p.checked {
+			pushed = p.lspu.Append(entry)
+			rs.logLines += pushed
+			rs.logBytes += entry.SizeBytes(p.hashMode)
+			if p.hashMode {
+				for i := 0; i < eff.NMem; i++ {
+					m := eff.Mem[i]
+					p.rcu.AbsorbVerification(MemRec{
+						Addr: m.Addr, Size: m.Size,
+						Data: m.Data, Load: m.Kind == emu.MemLoad,
+					})
+				}
+			}
+		}
+	}
+	//paralint:allow(arena append: scratch is reused across segments)
+	p.pcs = append(p.pcs, uint32(eff.PC))
+	//paralint:allow(arena append: scratch is reused across segments)
+	p.flags = append(p.flags, fl)
+
+	switch {
+	case eff.Halted:
+		return BoundaryHalt
+	case p.budget > 0 && p.executed >= p.budget:
+		return BoundaryHalt
+	case !p.warmed && p.warmup > 0 && p.executed >= p.warmup:
+		return BoundaryInterrupt
+	case p.irqEvery > 0 && p.sinceIRQ >= p.irqEvery:
+		p.sinceIRQ = 0
+		return BoundaryInterrupt
+	default:
+		return p.counter.Tick(pushed)
+	}
+}
+
+// batchFuel bounds one speculative batch so no recording boundary can
+// fire before the batch's final effect (the producer-side analogue of
+// System.batchFuel).
+func (p *specProducer) batchFuel() int {
+	fuel := len(p.batch)
+	if p.budget > 0 {
+		if r := p.budget - p.executed; int64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if !p.warmed && p.warmup > 0 && p.executed < p.warmup {
+		if r := p.warmup - p.executed; int64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if p.irqEvery > 0 {
+		if r := p.irqEvery - p.sinceIRQ; uint64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if b := p.counter.BatchBound(); fuel > b {
+		fuel = b
+	}
+	if fuel < 1 {
+		fuel = 1
+	}
+	return fuel
 }
 
 // laneSpec is one lane's speculation state for the current run.
@@ -617,6 +677,9 @@ func (s *System) initSpec() {
 			}
 			if sp.prod.budget > 0 {
 				sp.prod.budget += sp.prod.warmup
+			}
+			if s.blockExec {
+				sp.prod.batch = make([]emu.Effect, effectBatchSize)
 			}
 			if s.cfg.TimeShards > 1 {
 				sp.ch = make(chan *recSeg, s.cfg.TimeShards)

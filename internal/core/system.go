@@ -43,6 +43,18 @@ type System struct {
 	pipelined bool
 	checkSem  chan struct{}
 
+	// blockExec selects the block-compiled execution engine: main-lane
+	// functional emulation and checker replay run whole basic blocks at
+	// a time (emu.Hart.RunBlocks), delivering effects to the timing
+	// models in batches (cpu.Core.ConsumeBatch). Bit-identical to the
+	// per-instruction engine by construction — the batch fuel is sized
+	// so no segment boundary can fire before a batch's final effect —
+	// and enforced by the differential tests in blockexec_test.go.
+	// Paths the block engine does not model (divergent lanes, a finite
+	// opportunistic resume window, fault interceptors) fall back to the
+	// per-instruction loops.
+	blockExec bool
+
 	llcExtraSum float64
 	llcExtraN   uint64
 
@@ -120,6 +132,12 @@ type lane struct {
 	// spec is this lane's parallel-in-time speculation state (spec.go);
 	// nil runs the legacy sequential runSegment path.
 	spec *laneSpec
+
+	// batch is the block-compiled engine's effect buffer (nil when the
+	// engine is off): runBatch fills it from the machine or the recorded
+	// stream, delivers it to the main core whole, then replays the
+	// logging and boundary protocol per effect.
+	batch []emu.Effect
 }
 
 // warmSnapshot captures counters at the end of the warmup phase.
@@ -222,6 +240,7 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 	if s.pipelined && cfg.CheckWorkers > 1 {
 		s.checkSem = make(chan struct{}, cfg.CheckWorkers)
 	}
+	s.blockExec = cfg.BlockExec != BlockExecOff
 
 	laneIdx := 0
 	for _, w := range workloads {
@@ -293,6 +312,9 @@ func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
 	mainCore.Hier.Beyond = s.beyondFor(l.pos)
 	if p.plan != nil {
 		l.div = newDivState(p.plan)
+	}
+	if s.blockExec {
+		l.batch = make([]emu.Effect, effectBatchSize)
 	}
 
 	if len(s.cfg.Checkers) > 0 {
@@ -502,9 +524,23 @@ func (s *System) runSegment(l *lane) error {
 	startNS := l.main.TimeNS()
 
 	// --- functional execution with logging and main-core timing ---
+	// The block-compiled engine handles every boundary the batch fuel
+	// can bound by instruction count; a finite resumeAtNS is the one
+	// wall-clock-dependent boundary, so opportunistic wait windows (and
+	// divergent lanes, whose check mode the block path does not model)
+	// keep the per-instruction loop. Fault interceptors fall back inside
+	// Machine.RunBlocks itself.
 	var eff emu.Effect
 	reason := BoundaryInvalid
+	batched := s.blockExec && l.div == nil && math.IsInf(resumeAtNS, 1)
 	for reason == BoundaryInvalid {
+		if batched {
+			var err error
+			if reason, err = s.runBatch(l, sp, budget, resumeAtNS); err != nil {
+				return err
+			}
+			continue
+		}
 		if sp != nil {
 			ok, err := s.specNext(l, &eff)
 			if err != nil {
@@ -520,44 +556,7 @@ func (s *System) runSegment(l *lane) error {
 			return fmt.Errorf("core: lane %d: %w", l.idx, err)
 		}
 		l.main.Consume(&eff)
-		l.executed++
-		l.segInsts++
-		l.sinceIRQ++
-
-		pushed := 0
-		if l.segChecked {
-			if entry, ok := EntryFromEffectArena(&eff, &l.ops); ok {
-				l.entries = append(l.entries, entry)
-				pushed = l.lspu.Append(entry)
-				l.segLines += pushed
-				l.segBytes += entry.SizeBytes(s.cfg.HashMode)
-				if s.cfg.HashMode {
-					for i := 0; i < eff.NMem; i++ {
-						m := eff.Mem[i]
-						l.rcu.AbsorbVerification(MemRec{
-							Addr: m.Addr, Size: m.Size,
-							Data: m.Data, Load: m.Kind == emu.MemLoad,
-						})
-					}
-				}
-			}
-		}
-
-		switch {
-		case eff.Halted:
-			reason = BoundaryHalt
-		case budget > 0 && l.executed >= budget:
-			reason = BoundaryHalt
-		case !l.warmed && l.proc.w.WarmupInsts > 0 && l.executed >= l.proc.w.WarmupInsts:
-			reason = BoundaryInterrupt // snapshot at a checkpoint boundary
-		case s.cfg.InterruptIntervalInsts > 0 && l.sinceIRQ >= s.cfg.InterruptIntervalInsts:
-			reason = BoundaryInterrupt
-			l.sinceIRQ = 0
-		case !l.segChecked && l.main.TimeNS() >= resumeAtNS:
-			reason = BoundaryInterrupt // resume checking at a fresh checkpoint
-		default:
-			reason = l.counter.Tick(pushed)
-		}
+		reason = s.accountEffect(l, &eff, budget, resumeAtNS)
 	}
 
 	if sp != nil && reason == BoundaryHalt {
@@ -691,6 +690,152 @@ func (l *lane) beginSegment(hart *emu.Hart, capacityLines int, timeoutInsts uint
 	l.counter.Reset(capacityLines)
 }
 
+// effectBatchSize is the block-compiled engine's batch capacity, in
+// effects. Large enough to amortise the per-batch protocol (fuel
+// computation, ConsumeBatch call) over the ~10 ns/instruction executor,
+// small enough that a lane's buffer stays cache-resident.
+const effectBatchSize = 256
+
+// accountEffect applies the per-instruction segment protocol for one
+// committed effect on lane l — execution counters, LSL logging, hash
+// absorption, and the boundary decision — exactly as the historical
+// runSegment loop body did. Timing consumption happens before this
+// call, either per effect or batched; the two orders are equivalent
+// because the timing model and the logging units share no state.
+//
+//paralint:hotpath
+func (s *System) accountEffect(l *lane, eff *emu.Effect, budget int64, resumeAtNS float64) BoundaryReason {
+	l.executed++
+	l.segInsts++
+	l.sinceIRQ++
+
+	pushed := 0
+	if l.segChecked {
+		if entry, ok := EntryFromEffectArena(eff, &l.ops); ok {
+			//paralint:allow(arena append: entries/ops are pre-sized per segment)
+			l.entries = append(l.entries, entry)
+			pushed = l.lspu.Append(entry)
+			l.segLines += pushed
+			l.segBytes += entry.SizeBytes(s.cfg.HashMode)
+			if s.cfg.HashMode {
+				for i := 0; i < eff.NMem; i++ {
+					m := eff.Mem[i]
+					l.rcu.AbsorbVerification(MemRec{
+						Addr: m.Addr, Size: m.Size,
+						Data: m.Data, Load: m.Kind == emu.MemLoad,
+					})
+				}
+			}
+		}
+	}
+
+	switch {
+	case eff.Halted:
+		return BoundaryHalt
+	case budget > 0 && l.executed >= budget:
+		return BoundaryHalt
+	case !l.warmed && l.proc.w.WarmupInsts > 0 && l.executed >= l.proc.w.WarmupInsts:
+		return BoundaryInterrupt // snapshot at a checkpoint boundary
+	case s.cfg.InterruptIntervalInsts > 0 && l.sinceIRQ >= s.cfg.InterruptIntervalInsts:
+		l.sinceIRQ = 0
+		return BoundaryInterrupt
+	case !l.segChecked && l.main.TimeNS() >= resumeAtNS:
+		return BoundaryInterrupt // resume checking at a fresh checkpoint
+	default:
+		return l.counter.Tick(pushed)
+	}
+}
+
+// batchFuel bounds one block-compiled batch on lane l so that no
+// count-based segment boundary can fire before the batch's final
+// effect: the remaining budget, warmup window, interrupt interval and
+// counter headroom each cap the fuel. That bound is what makes the
+// consume-then-log reordering of runBatch sound — every effect the
+// timing model consumes is committed to this segment.
+func (s *System) batchFuel(l *lane, budget int64) int {
+	fuel := len(l.batch)
+	if budget > 0 {
+		if r := budget - l.executed; int64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if w := l.proc.w.WarmupInsts; !l.warmed && w > 0 && l.executed < w {
+		if r := w - l.executed; int64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if ie := s.cfg.InterruptIntervalInsts; ie > 0 {
+		if r := ie - l.sinceIRQ; uint64(fuel) > r {
+			fuel = int(r)
+		}
+	}
+	if b := l.counter.BatchBound(); fuel > b {
+		fuel = b
+	}
+	if fuel < 1 {
+		fuel = 1
+	}
+	return fuel
+}
+
+// runBatch executes one block-compiled batch on lane l: fill l.batch
+// from the machine (or, on a replay lane, from the recorded stream),
+// deliver the whole batch to the main-core timing model, then replay
+// the logging and boundary protocol per effect. Returns the boundary
+// reason, which by the batchFuel sizing can only fire at the batch's
+// final effect — a mid-batch boundary is an internal invariant
+// violation and aborts the run loudly rather than silently skewing
+// timing.
+//
+//paralint:hotpath
+func (s *System) runBatch(l *lane, sp *laneSpec, budget int64, resumeAtNS float64) (BoundaryReason, error) {
+	fuel := s.batchFuel(l, budget)
+	var n int
+	if sp != nil {
+		// Replay lane: reconstruct effects from the recorded stream. The
+		// cursor advances per instruction (reconstruction is cheap); only
+		// the timing delivery below is batched.
+		for n < fuel {
+			ok, err := s.specNext(l, &l.batch[n])
+			if err != nil {
+				return BoundaryInvalid, err
+			}
+			if !ok {
+				if n == 0 {
+					// Dry stream with no halt or budget boundary: not a
+					// recording of this workload (see the sequential path).
+					return BoundaryInvalid, s.specDiverged(l, nil)
+				}
+				// Account the filled prefix; the next batch re-detects
+				// the dry stream from a clean boundary state.
+				break
+			}
+			n++
+			if l.batch[n-1].Halted {
+				break
+			}
+		}
+	} else {
+		var err error
+		n, err = l.proc.mach.RunBlocks(l.hart, l.batch, fuel)
+		if err != nil {
+			return BoundaryInvalid, fmt.Errorf("core: lane %d: %w", l.idx, err)
+		}
+	}
+
+	l.main.ConsumeBatch(l.batch[:n])
+	for i := 0; i < n; i++ {
+		reason := s.accountEffect(l, &l.batch[i], budget, resumeAtNS)
+		if reason != BoundaryInvalid {
+			if i != n-1 {
+				return BoundaryInvalid, fmt.Errorf("core: lane %d: internal: %v boundary fired at instruction %d of a %d-effect batch", l.idx, reason, i+1, n)
+			}
+			return reason, nil
+		}
+	}
+	return BoundaryInvalid, nil
+}
+
 // dispatch schedules seg on checker ck: models the NoC transfer, runs the
 // checker's functional verification feeding its timing model, and records
 // the outcome. Under the pipelined engine the verification is handed to
@@ -747,6 +892,13 @@ func (s *System) dispatch(l *lane, ck *Checker, seg *Segment) {
 				s.metrics.DivergentDataMismatches++
 			}
 		}
+	} else if s.blockExec && intc == nil {
+		// Fault-free lockstep replay takes the block-compiled engine;
+		// injector runs keep the per-instruction loop (interceptor hooks
+		// fire between instructions, not blocks).
+		res = ck.scratch.CheckSegmentBlocks(l.proc.w.Prog, seg, s.cfg.HashMode, func(effs []emu.Effect) {
+			ck.Core.ConsumeBatch(effs)
+		})
 	} else {
 		res = CheckSegment(l.proc.w.Prog, seg, s.cfg.HashMode, intc, func(e *emu.Effect) {
 			ck.Core.Consume(e)

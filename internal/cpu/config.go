@@ -24,8 +24,14 @@ import (
 	"paraverser/internal/isa"
 )
 
+// maxFUPool bounds FU.Count so the core can keep the per-class
+// free-time tables in fixed-size arrays scanned without indirection on
+// the per-instruction hot path (core.go allocFU).
+const maxFUPool = 8
+
 // FU describes one functional-unit pool.
 type FU struct {
+	// Count is the number of units in the pool (at most maxFUPool).
 	Count int
 	// Latency is the result latency in cycles.
 	Latency int
@@ -91,6 +97,9 @@ func (c Config) Validate() error {
 		fu, ok := c.FUs[class]
 		if !ok || fu.Count <= 0 || fu.Latency <= 0 || fu.InitInterval <= 0 {
 			return fmt.Errorf("cpu %q: missing or invalid FU pool for class %d", c.Name, class)
+		}
+		if fu.Count > maxFUPool {
+			return fmt.Errorf("cpu %q: FU pool for class %d has %d units, max %d", c.Name, class, fu.Count, maxFUPool)
 		}
 	}
 	for _, cc := range []cachesim.Config{c.L1I, c.L1D, c.L2} {

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"paraverser/internal/branch"
 	"paraverser/internal/cachesim"
@@ -46,6 +47,10 @@ type Core struct {
 	redirected bool
 	lastLine   uint64
 	haveLine   bool
+	// fetchShift is log2(L1I.LineBytes) when it is a power of two (every
+	// shipped geometry), -1 otherwise: the fetch-line computation runs
+	// once per simulated instruction and the division costs.
+	fetchShift int32
 	regInt     [isa.NumIntRegs]float64
 	regFP      [isa.NumFPRegs]float64
 	rob        ring
@@ -54,8 +59,15 @@ type Core struct {
 	mshr       ring
 	// fuFree and fuCfg are dense per-FU-class tables indexed directly by
 	// isa.Class (the map form cost two hash lookups per instruction on
-	// the hottest path in the simulator).
-	fuFree      [isa.NumClasses][]float64
+	// the hottest path in the simulator). fuFree is a fixed-size array
+	// rather than a slice per class: allocFU runs once per simulated
+	// instruction, and the slice form paid a header load plus bounds
+	// checks per scan (Config.Validate caps Count at maxFUPool).
+	fuFree [isa.NumClasses][maxFUPool]float64
+	fuN    [isa.NumClasses]int32
+	// fuNext is the in-order fast path's round-robin cursor per class:
+	// the index of the oldest-assigned pool entry (see allocFU).
+	fuNext      [isa.NumClasses]int32
 	fuCfg       [isa.NumClasses]FU
 	lastIssue   float64
 	issueSlots  int
@@ -139,8 +151,12 @@ func NewCore(cfg Config, freqGHz float64, mode Mode) (*Core, error) {
 		c.BP = branch.NewUnit(branch.NewSmallTAGE(), 11)
 	}
 	for class, fu := range cfg.FUs {
-		c.fuFree[class] = make([]float64, fu.Count)
+		c.fuN[class] = int32(fu.Count)
 		c.fuCfg[class] = fu
+	}
+	c.fetchShift = -1
+	if lb := cfg.L1I.LineBytes; lb&(lb-1) == 0 {
+		c.fetchShift = int32(bits.TrailingZeros(uint(lb)))
 	}
 	rob := cfg.ROB
 	if !cfg.OoO {
@@ -245,43 +261,95 @@ func (c *Core) AdvanceTo(cycle float64) {
 //
 //paralint:hotpath
 func (c *Core) srcReady(d *isa.DecInst) float64 {
+	// The &31 masks are no-ops (registers are always < 32, isa.Validate)
+	// that let the compiler drop the bounds check on each scoreboard read.
 	var t float64
 	for i := uint8(0); i < d.NIntSrc; i++ {
-		if v := c.regInt[d.IntSrc[i]]; v > t {
+		if v := c.regInt[d.IntSrc[i]&31]; v > t {
 			t = v
 		}
 	}
 	for i := uint8(0); i < d.NFPSrc; i++ {
-		if v := c.regFP[d.FPSrc[i]]; v > t {
+		if v := c.regFP[d.FPSrc[i]&31]; v > t {
 			t = v
 		}
 	}
 	return t
 }
 
-// allocFU reserves a functional unit from the (predecoded) FU class's
-// pool, returning its start time given the earliest possible issue time.
+// allocFU reserves the least-loaded functional unit from the
+// (predecoded) FU class's pool, returning its start time given the
+// earliest possible issue time.
+//
+// The OoO path scans for the minimum (first-minimum tie-break, so the
+// pool multiset — and therefore every downstream timestamp — is
+// identical to the historical slice-based scan). In-order cores take an
+// O(1) round-robin cursor instead, which selects the same minimum: with
+// !OoO, issue is clamped to lastIssue (Consume) and so non-decreasing;
+// the pool minimum is non-decreasing by construction; hence each
+// assigned value start+InitInterval = max(issue, min)+II is
+// non-decreasing, the pool always holds the last n assigned values, and
+// the oldest-assigned entry — the cursor position — IS the minimum.
+// Equal values make victim choice multiset-equivalent, so tie-breaks
+// cannot diverge either.
 //
 //paralint:hotpath
 func (c *Core) allocFU(fuClass isa.Class, earliest float64) (start float64, latency int) {
-	pool := c.fuFree[fuClass]
+	pool := &c.fuFree[fuClass]
+	fu := &c.fuCfg[fuClass]
+	n := int(c.fuN[fuClass])
+	if n > maxFUPool {
+		n = maxFUPool // unreachable (Validate); lets the scan elide bounds checks
+	}
 	best := 0
-	for i := 1; i < len(pool); i++ {
-		if pool[i] < pool[best] {
-			best = i
+	switch {
+	case n == 1:
+		// Single-unit pool (stores, dividers, every scalar-checker
+		// class): the unit is pool[0]; skip the scan and the cursor
+		// update (fuNext stays 0, which both paths would compute).
+	case c.cfg.OoO:
+		for i := 1; i < n; i++ {
+			if pool[i] < pool[best] {
+				best = i
+			}
 		}
+	default:
+		best = int(c.fuNext[fuClass]) & (maxFUPool - 1)
+		next := best + 1
+		if next >= n {
+			next = 0
+		}
+		c.fuNext[fuClass] = int32(next)
 	}
 	start = earliest
 	if pool[best] > start {
 		start = pool[best]
 	}
-	pool[best] = start + float64(c.fuCfg[fuClass].InitInterval)
-	return start, c.fuCfg[fuClass].Latency
+	pool[best] = start + float64(fu.InitInterval)
+	return start, fu.Latency
 }
 
 // pauseCycles is the front-end idle a spin-wait hint costs: spin loops
 // cover wall time with few executed instructions.
 const pauseCycles = 48
+
+// ConsumeBatch advances the timing model over a batch of effects in
+// program order, as delivered by the block-compiled execution path. The
+// cycle-accurate model carries per-instruction dependencies (scoreboard
+// ready times, FU occupancy, fetch-line state) from one instruction
+// into the next, so consumption cannot be reordered or coalesced — the
+// batch form is timing-identical to per-effect delivery by
+// construction and amortises only the call and dispatch overhead. The
+// fetch-line tracker, MicroTrace cursor and cache hierarchy state all
+// carry across batch boundaries exactly as they carry across Consume
+// calls.
+//
+//paralint:hotpath
+func (c *Core) ConsumeBatch(effs []emu.Effect) {
+	for i := range effs {
+		c.Consume(&effs[i])
+	}
+}
 
 // Consume advances the timing model over one executed instruction.
 //
@@ -301,13 +369,19 @@ func (c *Core) Consume(eff *emu.Effect) {
 	}
 
 	// --- fetch ---
-	lineAddr := isa.PCToAddr(eff.PC) / uint64(c.cfg.L1I.LineBytes)
+	pcAddr := isa.PCToAddr(eff.PC)
+	var lineAddr uint64
+	if c.fetchShift >= 0 {
+		lineAddr = pcAddr >> uint(c.fetchShift)
+	} else {
+		lineAddr = pcAddr / uint64(c.cfg.L1I.LineBytes)
+	}
 	if c.redirected || !c.haveLine || lineAddr != c.lastLine {
 		var res cachesim.AccessResult
 		if c.curTrace != nil {
-			res = c.Hier.FetchAtLevel(isa.PCToAddr(eff.PC), int(c.microNext()))
+			res = c.Hier.FetchAtLevel(pcAddr, int(c.microNext()))
 		} else {
-			res = c.Hier.Fetch(isa.PCToAddr(eff.PC))
+			res = c.Hier.Fetch(pcAddr)
 			if c.recTrace != nil {
 				c.recTrace.record(uint8(res.Level))
 			}

@@ -1,0 +1,422 @@
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"paraverser/internal/isa"
+)
+
+// This file is the block-compiled execution path: instead of paying a
+// full StepDecoded call per instruction (halt check, PC bounds check,
+// interface-dispatched memory access, architectural-state stores), the
+// executor walks the program's basic-block table and runs each
+// straight-line block in one unrolled loop. PC and instret live in
+// registers between block boundaries, memory accesses on the main-core
+// path go through the hart's PageCache straight to raw page bytes, and
+// one Effect per instruction is written into a caller-owned batch
+// instead of being delivered through a callback.
+//
+// The opcode semantics below mirror Hart.StepDecoded exactly — the
+// differential tests in block_test.go and internal/core hold the two
+// paths bit-identical over every shipped workload. Fault interceptors
+// are deliberately unsupported here; callers with an Interceptor fall
+// back to the per-instruction loop (see Machine.RunBlocks).
+
+// RunBlocks executes up to fuel instructions (further clamped to
+// len(batch)) from the predecoded program dec using its basic-block
+// table bt, filling batch[i] with the effect of the i-th executed
+// instruction. It returns the number of instructions executed.
+//
+// Execution stops when fuel is exhausted, after a HALT retires (the
+// halt's effect is the last in the batch), or on an environment error —
+// in which case, exactly like StepDecoded, the failing instruction does
+// not retire: its effect is not included in the count and the hart's PC
+// and instret still name it.
+//
+// env serves memory, random and timer reads. When env is a *MainEnv the
+// loads, stores and swaps bypass the interface and hit memory through
+// the hart's PageCache; any other environment (the checker's
+// log-replaying CheckerEnv) is served through the interface.
+//
+// Effects are written field-wise: fields whose meaning is guarded by
+// another field (Mem entries beyond NMem) may hold stale bytes from a
+// previous batch, matching the effIter replay convention — consumers
+// never read past the guards.
+//
+//paralint:hotpath
+func (h *Hart) RunBlocks(dec []isa.DecInst, bt *isa.BlockTable, env Env, batch []Effect, fuel int) (int, error) {
+	if h.Halted {
+		return 0, fmt.Errorf("emu: hart %d: step after halt", h.ID)
+	}
+	if fuel > len(batch) {
+		fuel = len(batch)
+	}
+	menv, _ := env.(*MainEnv)
+	var mem *Memory
+	if menv != nil {
+		mem = menv.Mem
+	}
+
+	n := 0
+	pc := h.State.PC
+	instret := h.Instret
+	x := &h.State.X
+	f := &h.State.F
+
+	for n < fuel {
+		if pc >= uint64(len(dec)) {
+			h.State.PC, h.Instret = pc, instret
+			return n, fmt.Errorf("emu: hart %d: pc %d out of range", h.ID, pc)
+		}
+		// Only the last instruction of [pc, end) can redirect control,
+		// so the inner loop advances pc sequentially and re-enters the
+		// outer loop (and its bounds check) only after a taken branch,
+		// an indirect jump, or the block boundary.
+		end := uint64(bt.End[pc])
+		for pc < end && n < fuel {
+			d := &dec[pc]
+			in := d.Inst
+			eff := &batch[n]
+			eff.PC = pc
+			eff.Inst = in
+			eff.Class = d.Class
+			eff.NextPC = pc + 1
+			eff.Taken = false
+			eff.Dec = d
+			eff.NMem = 0
+			eff.NonRepeat = false
+			eff.NonRepeatVal = 0
+			eff.WroteInt = false
+			eff.WroteFP = false
+			eff.Value = 0
+			eff.Halted = false
+
+			rs1, rs2 := x[in.Rs1], x[in.Rs2]
+			var (
+				vInt  uint64
+				vFP   float64
+				wrInt bool
+				wrFP  bool
+			)
+
+			switch in.Op {
+			case isa.OpADD:
+				vInt, wrInt = rs1+rs2, true
+			case isa.OpSUB:
+				vInt, wrInt = rs1-rs2, true
+			case isa.OpMUL:
+				vInt, wrInt = rs1*rs2, true
+			case isa.OpDIV:
+				if rs2 == 0 {
+					vInt, wrInt = ^uint64(0), true
+				} else {
+					vInt, wrInt = uint64(int64(rs1)/int64(rs2)), true
+				}
+			case isa.OpREM:
+				if rs2 == 0 {
+					vInt, wrInt = rs1, true
+				} else {
+					vInt, wrInt = uint64(int64(rs1)%int64(rs2)), true
+				}
+			case isa.OpAND:
+				vInt, wrInt = rs1&rs2, true
+			case isa.OpOR:
+				vInt, wrInt = rs1|rs2, true
+			case isa.OpXOR:
+				vInt, wrInt = rs1^rs2, true
+			case isa.OpSLL:
+				vInt, wrInt = rs1<<(rs2&63), true
+			case isa.OpSRL:
+				vInt, wrInt = rs1>>(rs2&63), true
+			case isa.OpSRA:
+				vInt, wrInt = uint64(int64(rs1)>>(rs2&63)), true
+			case isa.OpSLT:
+				vInt, wrInt = boolToU64(int64(rs1) < int64(rs2)), true
+			case isa.OpSLTU:
+				vInt, wrInt = boolToU64(rs1 < rs2), true
+
+			case isa.OpADDI:
+				vInt, wrInt = rs1+d.ImmU, true
+			case isa.OpANDI:
+				vInt, wrInt = rs1&d.ImmU, true
+			case isa.OpORI:
+				vInt, wrInt = rs1|d.ImmU, true
+			case isa.OpXORI:
+				vInt, wrInt = rs1^d.ImmU, true
+			case isa.OpSLLI:
+				vInt, wrInt = rs1<<(d.ImmU&63), true
+			case isa.OpSRLI:
+				vInt, wrInt = rs1>>(d.ImmU&63), true
+			case isa.OpSRAI:
+				vInt, wrInt = uint64(int64(rs1)>>(d.ImmU&63)), true
+			case isa.OpSLTI:
+				vInt, wrInt = boolToU64(int64(rs1) < in.Imm), true
+			case isa.OpLUI:
+				vInt, wrInt = d.ImmU, true
+
+			case isa.OpFADD:
+				vFP, wrFP = f[in.Rs1]+f[in.Rs2], true
+			case isa.OpFSUB:
+				vFP, wrFP = f[in.Rs1]-f[in.Rs2], true
+			case isa.OpFMUL:
+				vFP, wrFP = f[in.Rs1]*f[in.Rs2], true
+			case isa.OpFDIV:
+				vFP, wrFP = f[in.Rs1]/f[in.Rs2], true
+			case isa.OpFSQRT:
+				vFP, wrFP = math.Sqrt(f[in.Rs1]), true
+			case isa.OpFMIN:
+				vFP, wrFP = math.Min(f[in.Rs1], f[in.Rs2]), true
+			case isa.OpFMAX:
+				vFP, wrFP = math.Max(f[in.Rs1], f[in.Rs2]), true
+			case isa.OpFNEG:
+				vFP, wrFP = -f[in.Rs1], true
+			case isa.OpFABS:
+				vFP, wrFP = math.Abs(f[in.Rs1]), true
+			case isa.OpFCVTIF:
+				vFP, wrFP = float64(int64(rs1)), true
+			case isa.OpFCVTFI:
+				vInt, wrInt = uint64(int64(f[in.Rs1])), true
+			case isa.OpFMVIF:
+				vFP, wrFP = math.Float64frombits(rs1), true
+			case isa.OpFMVFI:
+				vInt, wrInt = math.Float64bits(f[in.Rs1]), true
+			case isa.OpFEQ:
+				vInt, wrInt = boolToU64(f[in.Rs1] == f[in.Rs2]), true
+			case isa.OpFLT:
+				vInt, wrInt = boolToU64(f[in.Rs1] < f[in.Rs2]), true
+
+			case isa.OpLD:
+				addr := rs1 + d.ImmU
+				var v uint64
+				var err error
+				if mem != nil {
+					v, err = h.pcache.Load(mem, addr, in.Size)
+				} else {
+					v, err = env.Load(addr, in.Size)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.addMem(MemLoad, addr, in.Size, v)
+				vInt, wrInt = v, true
+			case isa.OpFLD:
+				addr := rs1 + d.ImmU
+				var v uint64
+				var err error
+				if mem != nil {
+					v, err = h.pcache.Load(mem, addr, 8)
+				} else {
+					v, err = env.Load(addr, 8)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.addMem(MemLoad, addr, 8, v)
+				vFP, wrFP = math.Float64frombits(v), true
+			case isa.OpST:
+				addr := rs1 + d.ImmU
+				eff.addMem(MemStore, addr, in.Size, truncate(rs2, in.Size))
+				var err error
+				if mem != nil {
+					err = h.pcache.Store(mem, addr, in.Size, rs2)
+				} else {
+					err = env.Store(addr, in.Size, rs2)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+			case isa.OpFST:
+				addr := rs1 + d.ImmU
+				val := math.Float64bits(f[in.Rs2])
+				eff.addMem(MemStore, addr, 8, val)
+				var err error
+				if mem != nil {
+					err = h.pcache.Store(mem, addr, 8, val)
+				} else {
+					err = env.Store(addr, 8, val)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+			case isa.OpGLD:
+				a1 := rs1 + d.ImmU
+				a2 := rs2
+				var v1, v2 uint64
+				var err error
+				if mem != nil {
+					v1, err = h.pcache.Load(mem, a1, in.Size)
+				} else {
+					v1, err = env.Load(a1, in.Size)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				if mem != nil {
+					v2, err = h.pcache.Load(mem, a2, in.Size)
+				} else {
+					v2, err = env.Load(a2, in.Size)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.addMem(MemLoad, a1, in.Size, v1)
+				eff.addMem(MemLoad, a2, in.Size, v2)
+				vInt, wrInt = v1+v2, true
+			case isa.OpSST:
+				a1 := rs1 + d.ImmU
+				a2 := rs2
+				val := x[in.Rd]
+				eff.addMem(MemStore, a1, in.Size, truncate(val, in.Size))
+				eff.addMem(MemStore, a2, in.Size, truncate(val, in.Size))
+				var err error
+				if mem != nil {
+					err = h.pcache.Store(mem, a1, in.Size, val)
+				} else {
+					err = env.Store(a1, in.Size, val)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				if mem != nil {
+					err = h.pcache.Store(mem, a2, in.Size, val)
+				} else {
+					err = env.Store(a2, in.Size, val)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+			case isa.OpSWP:
+				addr := rs1
+				var old uint64
+				var err error
+				if mem != nil {
+					// Mirrors MainEnv.Swap: an 8-byte load then store.
+					old, err = h.pcache.Load(mem, addr, 8)
+					if err == nil {
+						err = h.pcache.Store(mem, addr, 8, rs2)
+					}
+				} else {
+					old, err = env.Swap(addr, rs2)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.addMem(MemLoad, addr, 8, old)
+				eff.addMem(MemStore, addr, 8, rs2)
+				vInt, wrInt = old, true
+
+			case isa.OpBEQ:
+				if rs1 == rs2 {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpBNE:
+				if rs1 != rs2 {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpBLT:
+				if int64(rs1) < int64(rs2) {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpBGE:
+				if int64(rs1) >= int64(rs2) {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpBLTU:
+				if rs1 < rs2 {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpBGEU:
+				if rs1 >= rs2 {
+					eff.Taken = true
+					eff.NextPC = pc + d.ImmU
+				}
+			case isa.OpJAL:
+				vInt, wrInt = pc+1, true
+				eff.Taken = true
+				eff.NextPC = pc + d.ImmU
+			case isa.OpJALR:
+				vInt, wrInt = pc+1, true
+				eff.Taken = true
+				eff.NextPC = rs1 + d.ImmU
+
+			case isa.OpRAND:
+				var v uint64
+				var err error
+				if menv != nil {
+					v, err = menv.Rand()
+				} else {
+					v, err = env.Rand()
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.NonRepeat, eff.NonRepeatVal = true, v
+				vInt, wrInt = v, true
+			case isa.OpCYCLE:
+				var v uint64
+				var err error
+				if menv != nil {
+					v, err = menv.CycleRead(instret)
+				} else {
+					v, err = env.CycleRead(instret)
+				}
+				if err != nil {
+					h.State.PC, h.Instret = pc, instret
+					return n, h.fault(err)
+				}
+				eff.NonRepeat, eff.NonRepeatVal = true, v
+				vInt, wrInt = v, true
+
+			case isa.OpNOP, isa.OpPAUSE:
+			case isa.OpHALT:
+				eff.Halted = true
+				h.Halted = true
+			default:
+				h.State.PC, h.Instret = pc, instret
+				return n, fmt.Errorf("emu: hart %d: pc %d: unimplemented op %s", h.ID, pc, in.Op)
+			}
+
+			if wrInt {
+				eff.WroteInt, eff.Value = true, vInt
+				if in.Rd != isa.Zero {
+					x[in.Rd] = vInt
+				}
+			} else if wrFP {
+				bits := math.Float64bits(vFP)
+				eff.WroteFP, eff.Value = true, bits
+				f[in.Rd] = math.Float64frombits(bits)
+			}
+
+			n++
+			instret++
+			npc := eff.NextPC
+			if h.Halted {
+				h.State.PC, h.Instret = npc, instret
+				return n, nil
+			}
+			if npc != pc+1 {
+				pc = npc
+				break // control left the straight line: re-check bounds
+			}
+			pc = npc
+		}
+	}
+	h.State.PC, h.Instret = pc, instret
+	return n, nil
+}

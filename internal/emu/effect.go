@@ -34,6 +34,10 @@ const MaxMemOps = 2
 // Effects are reused across steps to avoid allocation; consumers that
 // retain one must copy it.
 type Effect struct {
+	// Field order is deliberate: every scalar the timing models and the
+	// segment protocol touch per instruction sits ahead of the Mem
+	// array, so the common NMem==0 effect is consumed from the struct's
+	// leading cache line(s) without pulling in the memory-op records.
 	PC     uint64
 	Inst   isa.Inst
 	Class  isa.Class
@@ -45,7 +49,6 @@ type Effect struct {
 	// re-deriving per-op metadata. May be nil for hand-built effects.
 	Dec *isa.DecInst
 
-	Mem  [MaxMemOps]MemOp
 	NMem int
 
 	NonRepeat    bool   // instruction produced a non-repeatable value
@@ -56,6 +59,8 @@ type Effect struct {
 	Value    uint64 // raw bits of the value written (if any)
 
 	Halted bool
+
+	Mem [MaxMemOps]MemOp
 }
 
 // IsLoggedMem reports whether the effect produces a load-store-log entry.

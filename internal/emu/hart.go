@@ -69,6 +69,13 @@ type Hart struct {
 	State   ArchState
 	Instret uint64
 	Halted  bool
+
+	// pcache is the hart's one-entry page cache, used by the
+	// block-compiled execution path (RunBlocks) to serve page-local
+	// memory accesses without the Memory map lookup. Purely a cache:
+	// it never holds architectural state, so snapshots and restores
+	// ignore it.
+	pcache PageCache
 }
 
 // NewHart returns a hart with its stack pointer initialised.
@@ -104,7 +111,22 @@ func (h *Hart) StepDecoded(dec []isa.DecInst, env Env, intc Interceptor, eff *Ef
 	d := &dec[pc]
 	in := d.Inst
 
-	*eff = Effect{PC: pc, Inst: in, Class: d.Class, NextPC: pc + 1, Dec: d}
+	// Field-wise reset, matching RunBlocks: a whole-struct assignment
+	// would clear the 128-byte Mem array too, which costs a duffcopy per
+	// instruction for bytes every consumer already guards behind NMem.
+	eff.PC = pc
+	eff.Inst = in
+	eff.Class = d.Class
+	eff.NextPC = pc + 1
+	eff.Taken = false
+	eff.Dec = d
+	eff.NMem = 0
+	eff.NonRepeat = false
+	eff.NonRepeatVal = 0
+	eff.WroteInt = false
+	eff.WroteFP = false
+	eff.Value = 0
+	eff.Halted = false
 
 	x := &h.State.X
 	f := &h.State.F

@@ -73,7 +73,8 @@ type Machine struct {
 	Mem   *Memory
 	Harts []*Hart
 	Env   []*MainEnv
-	dec   []isa.DecInst // Prog's predecode table, resolved once
+	dec   []isa.DecInst   // Prog's predecode table, resolved once
+	bt    *isa.BlockTable // Prog's basic-block table, resolved once
 
 	// Quantum is how many instructions one hart runs before control
 	// rotates. Zero means 1.
@@ -96,7 +97,7 @@ func NewMachine(prog *isa.Program, seed uint64) (*Machine, error) {
 
 // newMachine creates one hart per entry point over mem.
 func newMachine(prog *isa.Program, mem *Memory, seed uint64) *Machine {
-	m := &Machine{Prog: prog, Mem: mem, dec: prog.Decoded()}
+	m := &Machine{Prog: prog, Mem: mem, dec: prog.Decoded(), bt: prog.Blocks()}
 	for i, entry := range prog.Entries {
 		h := NewHart(i, entry)
 		h.State.X[isa.GP] = prog.DataBase
@@ -119,6 +120,31 @@ func (m *Machine) Running() bool {
 // StepHart executes one instruction on hart i, filling eff.
 func (m *Machine) StepHart(i int, eff *Effect) error {
 	return m.Harts[i].StepDecoded(m.dec, m.Env[i], m.Intc, eff)
+}
+
+// RunBlocks executes up to fuel instructions on hart i through the
+// block-compiled path, filling batch[:n] with one effect per executed
+// instruction (see Hart.RunBlocks for the stop conditions). When a
+// fault interceptor is installed the block path is unsound — it has no
+// corruption hooks — so execution falls back to per-instruction
+// stepping with identical batch semantics.
+func (m *Machine) RunBlocks(i int, batch []Effect, fuel int) (int, error) {
+	if m.Intc == nil {
+		return m.Harts[i].RunBlocks(m.dec, m.bt, m.Env[i], batch, fuel)
+	}
+	if fuel > len(batch) {
+		fuel = len(batch)
+	}
+	h := m.Harts[i]
+	for n := 0; n < fuel; n++ {
+		if err := h.StepDecoded(m.dec, m.Env[i], m.Intc, &batch[n]); err != nil {
+			return n, err
+		}
+		if batch[n].Halted {
+			return n + 1, nil
+		}
+	}
+	return fuel, nil
 }
 
 // Run interleaves the harts round-robin until every hart halts or limit

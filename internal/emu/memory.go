@@ -37,6 +37,12 @@ type Memory struct {
 	lastPN   uint64
 	lastPage *page
 	lastRO   bool
+	// gen counts every event that changes page identity or
+	// permissions: page creation, copy-on-write replacement, and
+	// Snapshot marking pages read-only. External page caches
+	// (PageCache) compare it to detect that a raw *page pointer they
+	// hold may be stale or no longer writable.
+	gen uint64
 }
 
 // NewMemory returns an empty memory.
@@ -70,12 +76,14 @@ func (m *Memory) pageForWrite(addr uint64) *page {
 	case p == nil:
 		p = new(page)
 		m.pages[pn] = p
+		m.gen++
 	case m.ro != nil && m.ro[pn]:
 		cp := new(page)
 		*cp = *p
 		m.pages[pn] = cp
 		delete(m.ro, pn)
 		p = cp
+		m.gen++
 	}
 	m.lastPN, m.lastPage, m.lastRO = pn, p, false
 	return p

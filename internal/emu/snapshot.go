@@ -32,6 +32,10 @@ func (m *Memory) Snapshot() *MemSnapshot {
 	if m.lastPage != nil {
 		m.lastRO = true
 	}
+	// Every resident page just changed permission; external PageCache
+	// entries holding writable pointers must refetch through the
+	// copy-on-write path.
+	m.gen++
 	return &MemSnapshot{pages: snap}
 }
 

@@ -66,8 +66,13 @@ var fingerprintedConfigFields = map[string]bool{
 	// which guarantees byte-identical tables at every shard count and with
 	// or without a speculation cache attached: both are pure wall-clock
 	// knobs, so hashing them would split the cache for no semantic reason.
-	"TimeShards":         false,
-	"Spec":               false,
+	"TimeShards": false,
+	"Spec":       false,
+	// BlockExec picks the block-compiled vs per-instruction execution
+	// engine (core/system.go), which produce bit-identical simulated
+	// outcomes (core/blockexec_test.go): another pure wall-clock knob,
+	// so hashing it would split the cache for no semantic reason.
+	"BlockExec":          false,
 	"NoC":                true,
 	"Layout":             true,
 	"LSLTrafficOnNoC":    true,

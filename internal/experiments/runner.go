@@ -202,6 +202,7 @@ func (f *Future) Wait() (*core.Result, error) {
 // fault-injection matrices parallelise under the same bound.
 func (e *Engine) Submit(cfg core.Config, ws []core.Workload) *Future {
 	applyCheckWorkers(&cfg)
+	applyBlockExec(&cfg)
 	applyTrace(&cfg)
 	e.applySpec(&cfg)
 	e.jobs.Add(1)
@@ -249,6 +250,7 @@ func (e *Engine) noteHit(c *runCall) {
 // first-time working-set generation parallelises with other runs.
 func (e *Engine) SubmitSpec(cfg core.Config, bench string, insts, warmup int64) *Future {
 	applyCheckWorkers(&cfg)
+	applyBlockExec(&cfg)
 	applyTrace(&cfg)
 	e.applySpec(&cfg)
 	e.jobs.Add(1)
@@ -360,6 +362,29 @@ func SetCheckWorkers(n int) { checkWorkers.Store(int64(n)) }
 func applyCheckWorkers(cfg *core.Config) {
 	if cfg.CheckWorkers == 0 {
 		cfg.CheckWorkers = int(checkWorkers.Load())
+	}
+}
+
+// blockExecOff disables the block-compiled execution engine for
+// submitted configurations that leave Config.BlockExec at its Auto zero
+// value. The engine is on by default; results are engine-invariant
+// (core/blockexec_test.go) and BlockExec is excluded from the cache
+// fingerprint, so flipping it never splits the cache.
+var blockExecOff atomic.Bool
+
+// SetBlockExec turns the block-compiled execution engine on or off for
+// subsequent submissions (default on). Like SetCheckWorkers this only
+// changes wall-clock behaviour; simulated results are bit-identical on
+// either engine.
+func SetBlockExec(on bool) { blockExecOff.Store(!on) }
+
+func applyBlockExec(cfg *core.Config) {
+	if cfg.BlockExec == core.BlockExecAuto {
+		if blockExecOff.Load() {
+			cfg.BlockExec = core.BlockExecOff
+		} else {
+			cfg.BlockExec = core.BlockExecOn
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+package isa
+
+import "testing"
+
+// blockProg is a small branchy program exercising every cut kind:
+//
+//	0: ADDI x1, x0, 5
+//	1: BEQ  x1, x0, +3   (target 4)
+//	2: ADD  x2, x1, x1
+//	3: JAL  x0, +2       (target 5)
+//	4: SUB  x2, x1, x1
+//	5: JALR x0, x1, 0
+//	6: NOP
+//	7: HALT
+func blockProg() *Program {
+	return &Program{
+		Name: "blocktest",
+		Insts: []Inst{
+			{Op: OpADDI, Rd: 1, Imm: 5},
+			{Op: OpBEQ, Rs1: 1, Rs2: 0, Imm: 3},
+			{Op: OpADD, Rd: 2, Rs1: 1, Rs2: 1},
+			{Op: OpJAL, Rd: 0, Imm: 2},
+			{Op: OpSUB, Rd: 2, Rs1: 1, Rs2: 1},
+			{Op: OpJALR, Rd: 0, Rs1: 1},
+			{Op: OpNOP},
+			{Op: OpHALT},
+		},
+		Entries: []uint64{0},
+	}
+}
+
+func TestBlockTableCuts(t *testing.T) {
+	p := blockProg()
+	bt := p.Blocks()
+
+	wantEnd := []uint32{2, 2, 4, 4, 5, 6, 8, 8}
+	for pc, want := range wantEnd {
+		if got := bt.End[pc]; got != want {
+			t.Errorf("End[%d] = %d, want %d", pc, got, want)
+		}
+	}
+	wantLeader := []bool{true, false, true, false, true, true, true, false}
+	for pc, want := range wantLeader {
+		if got := bt.Leader[pc]; got != want {
+			t.Errorf("Leader[%d] = %v, want %v", pc, got, want)
+		}
+	}
+}
+
+// TestBlockTableInvariants checks the structural contract the block
+// executor relies on, over the branchy program: every block run makes
+// forward progress, stays in range, contains control flow or HALT only
+// as its final instruction, and contains no leader after its first.
+func TestBlockTableInvariants(t *testing.T) {
+	p := blockProg()
+	checkBlockInvariants(t, p.Insts, p.Blocks())
+}
+
+func checkBlockInvariants(t *testing.T, insts []Inst, bt *BlockTable) {
+	t.Helper()
+	n := len(insts)
+	if len(bt.End) != n || len(bt.Leader) != n {
+		t.Fatalf("table sized %d/%d, want %d", len(bt.End), len(bt.Leader), n)
+	}
+	for pc := 0; pc < n; pc++ {
+		end := int(bt.End[pc])
+		if end <= pc || end > n {
+			t.Fatalf("End[%d] = %d out of range", pc, end)
+		}
+		for i := pc; i < end-1; i++ {
+			if cutsAfter(insts[i].Op) {
+				t.Errorf("pc %d: interior instruction %d (%s) is a cut", pc, i, insts[i].Op)
+			}
+			if bt.Leader[i+1] {
+				t.Errorf("pc %d: interior instruction %d is a leader", pc, i+1)
+			}
+		}
+		// A mid-block pc's run must agree with its block's: resuming at
+		// pc after an interrupt ends at the same boundary.
+		if pc+1 < n && !bt.Leader[pc+1] && !cutsAfter(insts[pc].Op) {
+			if bt.End[pc] != bt.End[pc+1] {
+				t.Errorf("End[%d]=%d disagrees with End[%d]=%d mid-block",
+					pc, bt.End[pc], pc+1, bt.End[pc+1])
+			}
+		}
+	}
+	// Every static branch/JAL target starts a block.
+	for pc, in := range insts {
+		if tgt, ok := staticTarget(pc, in); ok && tgt >= 0 && tgt < int64(n) {
+			if !bt.Leader[tgt] {
+				t.Errorf("target %d of pc %d is not a leader", tgt, pc)
+			}
+			if tgt > 0 && int64(bt.End[tgt-1]) != tgt {
+				t.Errorf("block containing %d not cut before target %d", tgt-1, tgt)
+			}
+		}
+	}
+}
+
+func TestBlocksCached(t *testing.T) {
+	p := blockProg()
+	if a, b := p.Blocks(), p.Blocks(); a != b {
+		t.Fatalf("Blocks() not cached: %p vs %p", a, b)
+	}
+}

@@ -218,6 +218,8 @@ type Program struct {
 	// dec is the lazily built predecode table (see Decoded). Insts must
 	// not be mutated after the first Decoded call.
 	dec atomic.Pointer[[]DecInst]
+	// blocks is the lazily built basic-block table (see Blocks).
+	blocks atomic.Pointer[BlockTable]
 }
 
 // InstBytes is the encoded size of one instruction, used for instruction

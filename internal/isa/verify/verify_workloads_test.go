@@ -86,6 +86,29 @@ func shippedPrograms(t *testing.T) []*isa.Program {
 	return progs
 }
 
+// TestBlockTablesMatchCFG cross-validates the basic-block translation
+// tables (PR 8 block-compiled emulation) against the static verifier's
+// CFG for every shipped workload and every decorrelated variant: blocks
+// must be single-entry, straight-line, and cut before every CFG edge
+// target. This is the structural half of the block-exec equivalence
+// guarantee; the differential tests in internal/emu and internal/core
+// are the dynamic half.
+func TestBlockTablesMatchCFG(t *testing.T) {
+	for _, prog := range shippedPrograms(t) {
+		if err := verify.CheckBlockTable(prog, prog.Blocks()); err != nil {
+			t.Errorf("%v", err)
+		}
+		v, err := asm.Decorrelate(prog, asm.DecorrelateOptions{})
+		if err != nil {
+			t.Errorf("decorrelate %q: %v", prog.Name, err)
+			continue
+		}
+		if err := verify.CheckBlockTable(v.Prog, v.Prog.Blocks()); err != nil {
+			t.Errorf("variant of %q: %v", prog.Name, err)
+		}
+	}
+}
+
 // TestDecorrelatedVariantsVerifyClean is the divergent-mode half of the
 // "Verify workloads" CI gate: every decorrelated variant of every
 // shipped workload must itself pass the static verifier with zero

@@ -1,0 +1,98 @@
+#!/bin/sh
+# bench_pr8.sh — record the PR 8 (block-compiled emulation) numbers.
+#
+# Runs the hot-path micro-benchmarks (-benchmem) — the block-compiled
+# emulate path (BenchmarkRunBlock) against the per-instruction stepper
+# (BenchmarkHartStep), batched timing delivery (BenchmarkConsumeBatch)
+# against per-effect consume (BenchmarkCoreConsume), and block-compiled
+# checker replay (BenchmarkCheckSegment) against the per-instruction
+# baseline (BenchmarkCheckSegmentStep) — then times quick fig6 and quick
+# all with the block engine on (default) and off. Results go to
+# BENCH_pr8.json in the repo root. The "baseline" block is the PR 7
+# recording (BENCH_pr7.json); pass BASELINE_BIN=<path to a pre-PR
+# paraverser binary> to re-measure the wall-clock rows on this machine,
+# otherwise the recorded numbers are kept.
+set -eu
+cd "$(dirname "$0")/.."
+
+bench() { # bench <pkg> <name> -> "ns_op allocs_op extra"
+	go test "$1" -run '^$' -bench "^$2\$" -benchmem -benchtime=2s 2>/dev/null |
+		awk -v name="$2" '$1 ~ "^"name {
+			extra = ""
+			for (i = 4; i <= NF; i++) if ($(i+1) == "Minst/s") extra = $i
+			for (i = 4; i <= NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+			print $3, allocs, (extra == "" ? "null" : extra)
+		}'
+}
+
+wallclock() { # wallclock <binary> <args...> -> median-of-3 seconds
+	# Shared CI containers jitter by up to a second run to run; the
+	# median of three is what the acceptance numbers are judged on.
+	for _ in 1 2 3; do
+		start=$(date +%s.%N)
+		"$@" >/dev/null 2>&1
+		end=$(date +%s.%N)
+		echo "$start $end" | awk '{printf "%.2f\n", $2 - $1}'
+	done | sort -n | sed -n 2p
+}
+
+echo "building..." >&2
+go build -o /tmp/paraverser_bench ./cmd/paraverser
+
+echo "micro-benchmarks..." >&2
+set -- $(bench ./internal/emu BenchmarkHartStep)
+step_ns=$1 step_allocs=$2
+set -- $(bench ./internal/emu BenchmarkRunBlock)
+block_ns=$1 block_allocs=$2
+set -- $(bench ./internal/cpu BenchmarkCoreConsume)
+consume_ns=$1 consume_allocs=$2
+set -- $(bench ./internal/cpu BenchmarkConsumeBatch)
+cbatch_ns=$1 cbatch_allocs=$2
+set -- $(bench ./internal/core BenchmarkCheckSegment)
+check_ns=$1 check_allocs=$2 check_minst=$3
+set -- $(bench ./internal/core BenchmarkCheckSegmentStep)
+checkstep_ns=$1 checkstep_allocs=$2 checkstep_minst=$3
+
+echo "quick fig6..." >&2
+fig6_s=$(wallclock /tmp/paraverser_bench -quick fig6)
+echo "quick all (block engine on, default)..." >&2
+all_s=$(wallclock /tmp/paraverser_bench -quick all)
+echo "quick all -block-exec=false..." >&2
+all_off=$(wallclock /tmp/paraverser_bench -quick -block-exec=false all)
+
+base_fig6=3.03
+base_all=21.30
+if [ -n "${BASELINE_BIN:-}" ]; then
+	echo "baseline quick fig6..." >&2
+	base_fig6=$(wallclock "$BASELINE_BIN" -quick fig6)
+	echo "baseline quick all..." >&2
+	base_all=$(wallclock "$BASELINE_BIN" -quick all)
+fi
+
+speedup=$(echo "$base_all $all_s" | awk '{printf "%.2f", $1 / $2}')
+
+cat > BENCH_pr8.json <<EOF
+{
+  "benchmarks": {
+    "BenchmarkHartStep":         {"ns_op": $step_ns, "allocs_op": $step_allocs},
+    "BenchmarkRunBlock":         {"ns_op": $block_ns, "allocs_op": $block_allocs},
+    "BenchmarkCoreConsume":      {"ns_op": $consume_ns, "allocs_op": $consume_allocs},
+    "BenchmarkConsumeBatch":     {"ns_op": $cbatch_ns, "allocs_op": $cbatch_allocs},
+    "BenchmarkCheckSegment":     {"ns_op": $check_ns, "allocs_op": $check_allocs, "minst_per_s": $check_minst},
+    "BenchmarkCheckSegmentStep": {"ns_op": $checkstep_ns, "allocs_op": $checkstep_allocs, "minst_per_s": $checkstep_minst}
+  },
+  "wallclock_s": {
+    "quick_fig6": $fig6_s,
+    "quick_all": $all_s,
+    "quick_all_block_exec_off": $all_off
+  },
+  "baseline": {
+    "commit": "89d32d0",
+    "quick_fig6": $base_fig6,
+    "quick_all": $base_all
+  },
+  "speedup_quick_all": $speedup
+}
+EOF
+echo "wrote BENCH_pr8.json:" >&2
+cat BENCH_pr8.json
