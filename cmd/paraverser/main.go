@@ -6,12 +6,17 @@
 //	paraverser [flags] <experiment>...
 //
 // Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area
-// opportunity ablation campaign divergent all
+// opportunity ablation campaign divergent strategies all
 //
 // Flags select the simulation scale; the default "full" scale runs each
 // benchmark for 250k measured instructions after a 150k-instruction
 // warmup (scaled down from the paper's 1B-instruction windows after 10B
 // fast-forward).
+//
+// -strategy selects the checker verification strategy (lockstep,
+// chunk-replay, relaxed; default auto) for every full-coverage lockstep
+// run an experiment submits; the "strategies" experiment runs the
+// head-to-head comparison across all of them regardless of the flag.
 //
 // -j N bounds the simulation worker pool (default GOMAXPROCS). "all"
 // runs every experiment concurrently over the shared result cache, so
@@ -36,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"paraverser/internal/core"
 	"paraverser/internal/experiments"
 	"paraverser/internal/obs"
 )
@@ -73,6 +79,7 @@ func run(args []string) int {
 	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
 	timeShards := fs.Int("time-shards", defaultTimeShards(), "segments emulated speculatively ahead of each run's timing stitch (1 = inline; results are identical at any setting)")
 	blockExec := fs.Bool("block-exec", true, "run emulation and checker replay through the block-compiled engine (results are identical either way)")
+	strategy := fs.String("strategy", "auto", "checker verification strategy for full-coverage lockstep runs: auto, lockstep, chunk-replay, relaxed")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsOut := fs.String("metrics-out", "", "write the deterministic run-metrics snapshot as JSON to this file on exit")
@@ -83,7 +90,7 @@ func run(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
 		fmt.Fprintf(fs.Output(), "       paraverser metrics [-trace trace.json] metrics.json\n")
-		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign divergent all\n")
+		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign divergent strategies all\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -147,10 +154,45 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "paraverser: -time-shards must be >= 1 (got %d)\n", *timeShards)
 		return 2
 	}
+	// Range checks for the remaining numeric knobs: a negative count has
+	// no meaning anywhere below (0 everywhere selects the default), so
+	// reject it up front with exit 2 rather than letting it reach an
+	// engine that would misbehave quietly.
+	for _, knob := range []struct {
+		name string
+		val  int64
+	}{
+		{"-j", int64(*workers)},
+		{"-check-workers", int64(*checkWorkers)},
+		{"-fault-trials", int64(*trials)},
+		{"-campaign-trials", int64(*campaignTrials)},
+		{"-campaign-workers", int64(*campaignWorkers)},
+		{"-insts", *insts},
+		{"-warmup", *warmup},
+	} {
+		if knob.val < 0 {
+			fmt.Fprintf(os.Stderr, "paraverser: %s must be >= 0 (got %d)\n", knob.name, knob.val)
+			return 2
+		}
+	}
+	if *traceCap < 1 {
+		fmt.Fprintf(os.Stderr, "paraverser: -trace-cap must be >= 1 (got %d)\n", *traceCap)
+		return 2
+	}
+	st, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paraverser: -strategy: %v\n", err)
+		return 2
+	}
+	if st == core.StrategyDivergent {
+		fmt.Fprintf(os.Stderr, "paraverser: -strategy divergent is not a process-wide override: divergent checking needs the divergent check mode and per-workload decorrelation plans (run the divergent or strategies experiment instead)\n")
+		return 2
+	}
 	experiments.SetWorkers(*workers)
 	experiments.SetCheckWorkers(*checkWorkers)
 	experiments.SetTimeShards(*timeShards)
 	experiments.SetBlockExec(*blockExec)
+	experiments.SetStrategy(st)
 
 	var trace *obs.Trace
 	if *traceOut != "" {
@@ -209,7 +251,7 @@ func run(args []string) int {
 	names := fs.Args()
 	concurrent := false
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign", "divergent"}
+		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign", "divergent", "strategies"}
 		concurrent = true
 	}
 	camp := campaignOpts{seed: *seed, trials: *campaignTrials, workers: *campaignWorkers}
@@ -345,6 +387,13 @@ func runExperiment(name string, sc experiments.Scale, camp campaignOpts) (string
 			return "", err
 		}
 		fmt.Fprintf(&b, "divergent-vs-lockstep study: %d paired trials, seed %d\n\n", len(r.Lockstep.Trials), camp.seed)
+		fmt.Fprintln(&b, r.Table())
+	case "strategies":
+		r, err := experiments.Strategies(sc, camp.seed, camp.trials, camp.workers)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "checker-strategy head-to-head, seed %d\n\n", camp.seed)
 		fmt.Fprintln(&b, r.Table())
 	case "table1":
 		fmt.Fprintln(&b, experiments.Table1())

@@ -46,6 +46,45 @@ func TestTimeShardsFlagValidation(t *testing.T) {
 	}
 }
 
+// TestFlagValidation pins the usage-error contract across every numeric
+// and enumerated knob: an out-of-range or unparsable value must exit 2
+// with a one-line diagnostic before any simulation starts, and the
+// valid edge values must not trip the validators.
+func TestFlagValidation(t *testing.T) {
+	defer experiments.SetStrategy(0)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"negative -j", []string{"-j", "-1", "table1"}, 2},
+		{"negative -check-workers", []string{"-check-workers", "-2", "table1"}, 2},
+		{"negative -fault-trials", []string{"-fault-trials", "-1", "table1"}, 2},
+		{"negative -campaign-trials", []string{"-campaign-trials", "-4", "table1"}, 2},
+		{"negative -campaign-workers", []string{"-campaign-workers", "-1", "table1"}, 2},
+		{"negative -insts", []string{"-insts", "-100", "table1"}, 2},
+		{"negative -warmup", []string{"-warmup", "-100", "table1"}, 2},
+		{"zero -trace-cap", []string{"-trace-cap", "0", "table1"}, 2},
+		{"negative -trace-cap", []string{"-trace-cap", "-8", "table1"}, 2},
+		{"zero -time-shards", []string{"-time-shards", "0", "table1"}, 2},
+		{"unknown -strategy", []string{"-strategy", "bogus", "table1"}, 2},
+		{"divergent -strategy", []string{"-strategy", "divergent", "table1"}, 2},
+		// Valid edges: zero means "default" for the counts, and every
+		// named strategy the flag accepts must reach the experiment.
+		{"zero -j", []string{"-j", "0", "table1"}, 0},
+		{"zero -check-workers", []string{"-check-workers", "0", "table1"}, 0},
+		{"auto -strategy", []string{"-strategy", "auto", "table1"}, 0},
+		{"lockstep -strategy", []string{"-strategy", "lockstep", "table1"}, 0},
+		{"chunk-replay -strategy", []string{"-strategy", "chunk-replay", "table1"}, 0},
+		{"relaxed -strategy", []string{"-strategy", "relaxed", "table1"}, 0},
+	}
+	for _, tc := range cases {
+		if code := run(tc.args); code != tc.want {
+			t.Errorf("%s (%v): exit %d, want %d", tc.name, tc.args, code, tc.want)
+		}
+	}
+}
+
 func TestMetricsCmdArgHandling(t *testing.T) {
 	if code := run([]string{"metrics"}); code != 2 {
 		t.Errorf("metrics with no file: exit %d, want 2", code)

@@ -48,6 +48,8 @@ func TestBlockExecInvariance(t *testing.T) {
 		{"pipelined-workers", func(c *Config) { c.CheckWorkers = 4 }},
 		{"no-checking", func(c *Config) { c.Checkers = nil }},
 		{"divergent", func(c *Config) { c.CheckMode = CheckDivergent }},
+		{"chunk-replay", func(c *Config) { c.Strategy = StrategyChunkReplay }},
+		{"relaxed", func(c *Config) { c.Strategy = StrategyRelaxed }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

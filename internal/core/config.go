@@ -198,6 +198,16 @@ type Config struct {
 	CheckMode CheckMode
 	// Divergent tunes the decorrelated variant (CheckDivergent only).
 	Divergent DivergentConfig
+	// Strategy selects the segment-verification strategy (strategy.go):
+	// scheduling granularity and how checker acquisition couples to
+	// main-core commit. The zero value (StrategyAuto) resolves from
+	// CheckMode, so existing configurations keep their meaning. Unlike
+	// the wall-clock knobs below, the strategy changes simulated
+	// outcomes and is part of the run-cache fingerprint.
+	Strategy Strategy
+	// StrategyTuning tunes the chunk-replay and relaxed-start
+	// strategies (zero values select the documented defaults).
+	StrategyTuning StrategyConfig
 	// EagerWake lets a checker start as log lines arrive rather than at
 	// checkpoint end (section IV-H).
 	EagerWake bool
@@ -375,6 +385,40 @@ func (c *Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("core: invalid check mode %d", c.CheckMode)
+	}
+	switch st := c.ResolvedStrategy(); st {
+	case StrategyLockstep:
+		if c.CheckMode != CheckLockstep {
+			return fmt.Errorf("core: lockstep strategy requires lockstep check mode (got %v)", c.CheckMode)
+		}
+	case StrategyDivergent:
+		if c.CheckMode != CheckDivergent {
+			return fmt.Errorf("core: divergent strategy requires CheckMode CheckDivergent (the strategy replays the decorrelated plan)")
+		}
+	case StrategyChunkReplay:
+		if c.CheckMode != CheckLockstep {
+			return fmt.Errorf("core: chunk-replay strategy requires lockstep check mode (got %v)", c.CheckMode)
+		}
+		if len(c.Checkers) > 0 {
+			if c.Mode != ModeFullCoverage {
+				return fmt.Errorf("core: chunk-replay strategy requires full-coverage mode (chunks assume every segment is logged)")
+			}
+			if c.HashMode {
+				return fmt.Errorf("core: chunk-replay strategy is incompatible with Hash Mode (digests close per checkpoint, not per chunk)")
+			}
+		}
+	case StrategyRelaxed:
+		if c.CheckMode != CheckLockstep {
+			return fmt.Errorf("core: relaxed strategy requires lockstep check mode (got %v)", c.CheckMode)
+		}
+		if len(c.Checkers) > 0 && c.Mode != ModeFullCoverage {
+			return fmt.Errorf("core: relaxed strategy requires full-coverage mode (opportunistic mode already decouples checking from commit)")
+		}
+	default:
+		return fmt.Errorf("core: invalid checking strategy %d", c.Strategy)
+	}
+	if c.StrategyTuning.MaxLagSegments < 0 {
+		return fmt.Errorf("core: negative relaxed-start lag bound %d", c.StrategyTuning.MaxLagSegments)
 	}
 	if c.TimeShards < 0 {
 		return fmt.Errorf("core: negative time shards %d", c.TimeShards)

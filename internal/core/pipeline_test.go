@@ -39,6 +39,10 @@ func TestPipelinedWorkerCountInvariance(t *testing.T) {
 			c.SamplePeriod = 3
 			c.Checkers = []CheckerSpec{{CPU: cpu.A35(), FreqGHz: 0.5, Count: 1}}
 		}},
+		// The non-pipelined strategies must render identically at every
+		// worker count too — by staying sequential, not by overlapping.
+		{"chunk-replay", func(c *Config) { c.Strategy = StrategyChunkReplay }},
+		{"relaxed", func(c *Config) { c.Strategy = StrategyRelaxed }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -69,6 +69,27 @@ func (r *LaneResult) Coverage() float64 {
 	return float64(r.CheckedInsts) / float64(r.Insts)
 }
 
+// DegradedRatio returns the fraction of executed instructions that ran
+// in graceful-degradation windows (an emptied or fully-quarantined
+// checker pool). Guarded like Coverage: a lane that executed nothing —
+// an empty workload, or a warmup window consuming the entire run —
+// reports 0 rather than NaN.
+func (r *LaneResult) DegradedRatio() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.DegradedInsts) / float64(r.Insts)
+}
+
+// DegradedTimeShare returns degraded wall-clock time over lane
+// wall-clock time, guarded against zero-duration lanes.
+func (r *LaneResult) DegradedTimeShare() float64 {
+	if r.TimeNS <= 0 {
+		return 0
+	}
+	return r.DegradedNS / r.TimeNS
+}
+
 // CheckerResult reports one checker core's activity.
 type CheckerResult struct {
 	ID       int
@@ -168,6 +189,22 @@ func (r *Result) Detections() int {
 		n += r.Lanes[i].Detections
 	}
 	return n
+}
+
+// DegradedRatio returns the degraded-instruction fraction aggregated
+// over lanes, with the same zero-total guard as Coverage: a run whose
+// lanes executed nothing (or an empty lane list, e.g. a fully-degenerate
+// campaign trial) reports 0, never NaN.
+func (r *Result) DegradedRatio() float64 {
+	var deg, total uint64
+	for i := range r.Lanes {
+		deg += r.Lanes[i].DegradedInsts
+		total += r.Lanes[i].Insts
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(deg) / float64(total)
 }
 
 // Coverage returns instruction coverage aggregated over lanes.

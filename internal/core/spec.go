@@ -609,9 +609,9 @@ func (s *System) laneSpecEligible(l *lane) (replay, record bool) {
 	record = s.cfg.Mode == ModeFullCoverage
 	if record {
 		cks := l.alloc.Checkers()
-		cap0 := s.lslCapacityLines(cks[0])
+		cap0 := s.lslCapacityLines(l, cks[0])
 		for _, ck := range cks[1:] {
-			if s.lslCapacityLines(ck) != cap0 {
+			if s.lslCapacityLines(l, ck) != cap0 {
 				record = false
 				break
 			}
@@ -658,7 +658,7 @@ func (s *System) initSpec() {
 			hashMode := s.cfg.HashMode && sp.checked
 			capacity := 0
 			if sp.checked {
-				capacity = s.lslCapacityLines(l.alloc.Checkers()[0])
+				capacity = s.lslCapacityLines(l, l.alloc.Checkers()[0])
 			}
 			sp.prod = &specProducer{
 				laneIdx:  l.idx,

@@ -35,6 +35,12 @@ type System struct {
 	// pipeline (nil when recovery is disabled).
 	tracker *maintenance.Tracker
 
+	// strat is the run's segment-verification strategy (strategy.go):
+	// per-segment resource policy, dispatch granularity, and deferred
+	// drains. Resolved once from the config; lockstep and divergent
+	// reproduce the historical engine byte for byte.
+	strat CheckStrategy
+
 	// pipelined selects the buffered-merge dispatch protocol
 	// (pipeline.go): checks may run overlapped with the main lane and
 	// their shared-state effects merge at protocol-defined join points.
@@ -128,6 +134,13 @@ type lane struct {
 	// report the measured window only.
 	warmed bool
 	warm   warmSnapshot
+
+	// chunk is the lane's accumulating replay chunk (chunk-replay
+	// strategy only; nil otherwise).
+	chunk *chunkState
+	// relaxLag counts consecutive segments the relaxed-start strategy
+	// has dispatched onto a busy pool; bounded by MaxLagSegments.
+	relaxLag int
 
 	// spec is this lane's parallel-in-time speculation state (spec.go);
 	// nil runs the legacy sequential runSegment path.
@@ -229,14 +242,16 @@ func NewSystem(cfg Config, workloads []Workload) (*System, error) {
 	if cfg.Recovery.Enabled {
 		s.tracker = maintenance.NewTracker()
 	}
+	s.strat = newStrategy(cfg.ResolvedStrategy())
 	// Recovery consumes check verdicts immediately (re-replay,
 	// quarantine) and interceptors carry per-run mutable state; both
-	// keep the legacy synchronous dispatch. Divergent mode does too: its
-	// private memory image advances with each verified segment, so checks
-	// are ordered against the main lane by construction.
+	// keep the legacy synchronous dispatch. So does every non-lockstep
+	// strategy (strat.pipelineOK): divergent orders checks against its
+	// private memory image, chunk replay and relaxed start defer
+	// dispatch past segment close.
 	s.pipelined = len(cfg.Checkers) > 0 && !cfg.Recovery.Enabled &&
 		cfg.CheckerInterceptor == nil && cfg.MainInterceptor == nil &&
-		cfg.CheckMode == CheckLockstep
+		s.strat.pipelineOK()
 	if s.pipelined && cfg.CheckWorkers > 1 {
 		s.checkSem = make(chan struct{}, cfg.CheckWorkers)
 	}
@@ -355,6 +370,14 @@ func (s *System) newLane(idx int, p *process, hart int) (*lane, error) {
 			// pipelined engine.
 			l.alloc.SetJoin(func(c *Checker) { s.joinCheck(c) })
 		}
+		if s.cfg.ResolvedStrategy() == StrategyChunkReplay {
+			// Pre-size the chunk arenas for one full chunk of typical
+			// segments so accumulation rarely grows them.
+			l.chunk = &chunkState{
+				entries: make([]Entry, 0, defaultChunkSegments*1024),
+				ops:     make([]MemRec, 0, defaultChunkSegments*1024),
+			}
+		}
 	}
 	return l, nil
 }
@@ -461,43 +484,7 @@ func (s *System) runSegment(l *lane) error {
 	l.segDegraded = false
 
 	if s.checking() {
-		switch s.cfg.Mode {
-		case ModeFullCoverage:
-			ck = l.alloc.AcquireFree(now)
-			if ck == nil {
-				e := l.alloc.EarliestFree()
-				if e == nil {
-					// Quarantine emptied the active pool: degrade this
-					// lane to opportunistic operation instead of
-					// stalling forever; coverage resumes when probation
-					// readmits a checker.
-					l.segDegraded = true
-					break
-				}
-				// Stall until a checker frees (section IV-A).
-				stall := e.FreeAtNS - now
-				l.main.StallNS(stall)
-				l.res.StallNS += stall
-				s.metrics.StallNS += uint64(stall + 0.5)
-				now = l.main.TimeNS()
-				ck = e
-			}
-			l.segChecked = true
-		case ModeOpportunistic:
-			if s.cfg.SamplePeriod > 1 && l.res.Segments%s.cfg.SamplePeriod != 0 {
-				// Time-based sampling (footnote 18): deliberately skip
-				// this segment; re-evaluate at the next boundary.
-				break
-			}
-			ck = l.alloc.AcquireFree(now)
-			if ck != nil {
-				l.segChecked = true
-			} else if e := l.alloc.EarliestFree(); e != nil {
-				// Run unchecked until a checker frees, then immediately
-				// take a new checkpoint (section IV-A).
-				resumeAtNS = e.FreeAtNS
-			}
-		}
+		ck, resumeAtNS = s.strat.acquire(s, l, now)
 	}
 
 	if l.div != nil {
@@ -513,7 +500,7 @@ func (s *System) runSegment(l *lane) error {
 
 	capacityLines := 0
 	if l.segChecked {
-		capacityLines = s.lslCapacityLines(ck)
+		capacityLines = s.lslCapacityLines(l, ck)
 	}
 	l.beginSegment(hart, capacityLines, s.cfg.TimeoutInsts)
 	if sp != nil {
@@ -581,6 +568,10 @@ func (s *System) runSegment(l *lane) error {
 	s.traceSegment(l, startNS, endNS)
 
 	if !l.segChecked {
+		// An unchecked window breaks the contiguous instruction stream a
+		// deferred-work strategy accumulates: flush the pending chunk
+		// before accounting the gap (no-op for per-segment strategies).
+		s.strat.finish(s, l)
 		l.res.UncheckedInsts += l.segInsts
 		s.metrics.SegmentsUnchecked++
 		if l.segDegraded {
@@ -625,7 +616,7 @@ func (s *System) runSegment(l *lane) error {
 	s.metrics.SegmentsChecked++
 	s.metrics.InstsChecked += seg.Insts
 
-	s.dispatch(l, ck, seg)
+	s.strat.dispatch(s, l, ck, seg)
 	s.flows.refresh(s.mesh, endNS)
 	s.maybeSnapshotWarm(l)
 	if reason == BoundaryHalt {
@@ -641,7 +632,9 @@ func (s *System) maybeSnapshotWarm(l *lane) {
 		return
 	}
 	// Checker statistics for segments dispatched during warmup belong to
-	// the warmup window: join any pending checks before snapshotting.
+	// the warmup window: flush any deferred strategy work and join any
+	// pending checks before snapshotting.
+	s.strat.finish(s, l)
 	s.forceAll(l)
 	l.warmed = true
 	w := warmSnapshot{
@@ -671,10 +664,15 @@ func (s *System) maybeSnapshotWarm(l *lane) {
 
 // lslCapacityLines returns the log capacity for a segment on ck: the
 // checker's repurposed L1 data cache, or the dedicated SRAM of the
-// prior-work baselines.
-func (s *System) lslCapacityLines(ck *Checker) int {
+// prior-work baselines. A nil ck (a strategy that defers checker
+// acquisition past segment close, e.g. chunk replay) sizes segments by
+// the pool's first checker — the volume one LSL$ fill would hold.
+func (s *System) lslCapacityLines(l *lane, ck *Checker) int {
 	if s.cfg.DedicatedLSLBytes > 0 {
 		return s.cfg.DedicatedLSLBytes / LineBytes
+	}
+	if ck == nil {
+		ck = l.alloc.Checkers()[0]
 	}
 	return ck.Core.Config().L1D.SizeBytes / LineBytes
 }
@@ -959,6 +957,10 @@ func (s *System) finishLane(l *lane) {
 	if l.done {
 		return
 	}
+	// Drain any deferred strategy work (a tail chunk) before reading the
+	// lane's statistics; a flush may stall the main core, which belongs
+	// in the lane's reported time.
+	s.strat.finish(s, l)
 	l.done = true
 	l.res.Insts = uint64(l.executed)
 	l.res.TimeNS = l.main.TimeNS()

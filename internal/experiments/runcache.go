@@ -51,6 +51,8 @@ var fingerprintedConfigFields = map[string]bool{
 	"HashMode":               true,
 	"CheckMode":              true,
 	"Divergent":              true,
+	"Strategy":               true,
+	"StrategyTuning":         true,
 	"EagerWake":              true,
 	"TimeoutInsts":           true,
 	"DedicatedLSLBytes":      true,
@@ -117,6 +119,28 @@ var fingerprintedCPUFields = map[string]bool{
 	"AreaMM2":       true,
 }
 
+// fingerprintedNestedFields extends the accounting to every struct type
+// from the core and cpu packages reachable through a hashed field of the
+// tables above. These structs are rendered wholesale via %+v, so every
+// exported field rides along in the hash automatically — but a field
+// added to a nested struct must still be explicitly classified here,
+// otherwise TestFingerprintCoversConfig fails: before this table, a new
+// nested struct (or a new field on one) could slip into or out of the
+// fingerprint without a decision. Keys are "pkg.Type"; cpu.Config keeps
+// its dedicated, paralint-enforced table above. Struct types from other
+// packages (noc, cachesim, dram, obs) render all exported fields through
+// %+v by construction and carry no policy exclusions, so the walk stops
+// at the core/cpu package boundary.
+var fingerprintedNestedFields = map[string]map[string]bool{
+	"core.LaneMain":         {"CPU": true, "FreqGHz": true},
+	"core.CheckerSpec":      {"CPU": true, "FreqGHz": true, "Count": true},
+	"core.DivergentConfig":  {"DataShiftBytes": true, "RegSeed": true},
+	"core.StrategyConfig":   {"ChunkInsts": true, "MaxLagSegments": true},
+	"core.RecoveryConfig":   {"Enabled": true, "MaxReplays": true, "ForensicRounds": true, "Quarantine": true},
+	"core.QuarantinePolicy": {"CooldownNS": true, "ProbationChecks": true, "MaxOffenses": true},
+	"cpu.FU":                {"Count": true, "Latency": true, "InitInterval": true},
+}
+
 func fingerprint(cfg *core.Config) string {
 	h := sha256.New()
 	writeConfig(h, cfg)
@@ -132,9 +156,13 @@ func writeConfig(w io.Writer, cfg *core.Config) {
 	fmt.Fprintf(w, "mode=%v hash=%v eager=%v timeout=%v dedlsl=%v ckpt=%v/%v\n",
 		cfg.Mode, cfg.HashMode, cfg.EagerWake, cfg.TimeoutInsts,
 		cfg.DedicatedLSLBytes, cfg.CheckpointStallCycles, cfg.CheckpointDrains)
-	// Checking mode and the decorrelation parameters that shape the
-	// divergent variant.
-	fmt.Fprintf(w, "checkmode=%v divergent=%+v\n", cfg.CheckMode, cfg.Divergent)
+	// Checking mode, the decorrelation parameters that shape the
+	// divergent variant, and the verification strategy with its tuning.
+	// The strategy hashes in resolved form so an explicit
+	// StrategyLockstep and the Auto default (which resolves to it)
+	// share one cache entry — they are the same simulation.
+	fmt.Fprintf(w, "checkmode=%v divergent=%+v strategy=%v tuning=%+v\n",
+		cfg.CheckMode, cfg.Divergent, cfg.ResolvedStrategy(), cfg.StrategyTuning)
 	// 11-12: interrupt and sampling policy.
 	fmt.Fprintf(w, "irq=%v sample=%v\n", cfg.InterruptIntervalInsts, cfg.SamplePeriod)
 	// 13-15: mesh, layout (dereferenced), LSL traffic accounting.

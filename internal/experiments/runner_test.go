@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"path"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -193,17 +195,72 @@ func TestFaultRunsNotCached(t *testing.T) {
 // again. Without this, adding a field that changes simulated outcomes
 // would silently alias distinct configurations onto stale cache
 // entries.
+//
+// The check is recursive: every struct type from the core or cpu
+// packages reachable through a hashed field (unwrapping slices, arrays,
+// maps and pointers) needs its own policy table
+// (fingerprintedNestedFields), bidirectionally checked the same way.
+// The earlier, top-level-only version of this test let a field added to
+// a nested struct — or a whole new nested struct — ride into or out of
+// the %+v rendering with no decision recorded.
 func TestFingerprintCoversConfig(t *testing.T) {
-	check := func(typ reflect.Type, policy map[string]bool) {
-		t.Helper()
+	// nestedPolicy resolves the policy table for a struct type from the
+	// core or cpu packages; nil, false for types the walk stops at
+	// (other packages render every exported field via %+v and carry no
+	// exclusions).
+	nestedPolicy := func(typ reflect.Type) (map[string]bool, bool) {
+		pkg := typ.PkgPath()
+		if !strings.HasSuffix(pkg, "internal/core") && !strings.HasSuffix(pkg, "internal/cpu") {
+			return nil, false
+		}
+		if typ == reflect.TypeOf(cpu.Config{}) {
+			return fingerprintedCPUFields, true
+		}
+		key := path.Base(pkg) + "." + typ.Name()
+		policy, ok := fingerprintedNestedFields[key]
+		if !ok {
+			t.Errorf("nested struct %s is reachable through a hashed fingerprint field but has no policy table: add %q to fingerprintedNestedFields", key, key)
+		}
+		return policy, ok
+	}
+	// structElem unwraps containers to the struct type they carry, if
+	// any.
+	var structElem func(typ reflect.Type) (reflect.Type, bool)
+	structElem = func(typ reflect.Type) (reflect.Type, bool) {
+		switch typ.Kind() {
+		case reflect.Struct:
+			return typ, true
+		case reflect.Slice, reflect.Array, reflect.Ptr, reflect.Map:
+			return structElem(typ.Elem())
+		}
+		return nil, false
+	}
+	visited := make(map[reflect.Type]bool)
+	var check func(typ reflect.Type, policy map[string]bool)
+	check = func(typ reflect.Type, policy map[string]bool) {
+		if visited[typ] {
+			return
+		}
+		visited[typ] = true
 		seen := make(map[string]bool, typ.NumField())
 		for i := 0; i < typ.NumField(); i++ {
-			name := typ.Field(i).Name
+			field := typ.Field(i)
+			name := field.Name
 			seen[name] = true
-			if _, ok := policy[name]; !ok {
+			hashed, ok := policy[name]
+			if !ok {
 				t.Errorf("%s.%s is not classified in the fingerprint policy: "+
 					"add it to the table (and to writeConfig if it can change simulated outcomes)",
 					typ.Name(), name)
+				continue
+			}
+			if !hashed {
+				continue // excluded fields are not part of the rendering
+			}
+			if elem, ok := structElem(field.Type); ok {
+				if nested, ok := nestedPolicy(elem); ok {
+					check(elem, nested)
+				}
 			}
 		}
 		for name := range policy {
@@ -214,6 +271,20 @@ func TestFingerprintCoversConfig(t *testing.T) {
 	}
 	check(reflect.TypeOf(core.Config{}), fingerprintedConfigFields)
 	check(reflect.TypeOf(cpu.Config{}), fingerprintedCPUFields)
+	// Every nested table must have been reached: a stale entry here
+	// means the field that once led to it was removed or re-typed.
+	for key := range fingerprintedNestedFields {
+		reached := false
+		for typ := range visited {
+			if path.Base(typ.PkgPath())+"."+typ.Name() == key {
+				reached = true
+				break
+			}
+		}
+		if !reached {
+			t.Errorf("fingerprintedNestedFields lists %s, which is no longer reachable from core.Config or cpu.Config", key)
+		}
+	}
 }
 
 // TestFingerprintExcludesObservability asserts the deliberately excluded

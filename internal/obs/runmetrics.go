@@ -31,6 +31,11 @@ type RunMetrics struct {
 	SegmentsCheckedDivergent uint64 // checks run against the decorrelated variant
 	DivergentDataMismatches  uint64 // logged load data contradicted the private image
 
+	// Strategy activity (chunk-replay and relaxed-start strategies).
+	ChunkSegments   uint64 // segments accumulated into replay chunks
+	ChunkChecks     uint64 // chunk flushes dispatched to a checker
+	RelaxedDeferred uint64 // checks deferred onto a busy pool (relaxed start)
+
 	// Instructions.
 	Insts        uint64
 	InstsChecked uint64
@@ -87,6 +92,9 @@ func (m *RunMetrics) Merge(o *RunMetrics) {
 	m.ShadowChecks += o.ShadowChecks
 	m.SegmentsCheckedDivergent += o.SegmentsCheckedDivergent
 	m.DivergentDataMismatches += o.DivergentDataMismatches
+	m.ChunkSegments += o.ChunkSegments
+	m.ChunkChecks += o.ChunkChecks
+	m.RelaxedDeferred += o.RelaxedDeferred
 	m.Insts += o.Insts
 	m.InstsChecked += o.InstsChecked
 	m.StallNS += o.StallNS
@@ -127,6 +135,9 @@ func (m *RunMetrics) AddTo(b *SnapshotBuilder, prefix string) {
 	b.Counter(prefix+"probation_shadow_checks_total", "probation shadow checks", m.ShadowChecks)
 	b.Counter(prefix+"segments_checked_divergent_total", "checks run against the decorrelated variant", m.SegmentsCheckedDivergent)
 	b.Counter(prefix+"divergent_data_mismatches_total", "logged load data contradicted the divergent private image", m.DivergentDataMismatches)
+	b.Counter(prefix+"chunk_segments_total", "segments accumulated into replay chunks", m.ChunkSegments)
+	b.Counter(prefix+"chunk_checks_total", "chunk flushes dispatched to a checker", m.ChunkChecks)
+	b.Counter(prefix+"relaxed_deferred_total", "checks deferred onto a busy pool (relaxed start)", m.RelaxedDeferred)
 	b.Counter(prefix+"insts_total", "main-core instructions executed", m.Insts)
 	b.Counter(prefix+"insts_checked_total", "main-core instructions verified", m.InstsChecked)
 	b.Counter(prefix+"main_stall_ns_total", "main-core stall waiting for checkers (ns)", m.StallNS)
@@ -159,11 +170,12 @@ func (m *RunMetrics) String() string {
 	if m == nil {
 		return "<nil>"
 	}
-	return fmt.Sprintf("seg=%d/%d/%d deg=%d mm=%d rep=%d shadow=%d div=%d/%d insts=%d/%d "+
+	return fmt.Sprintf("seg=%d/%d/%d deg=%d mm=%d rep=%d shadow=%d div=%d/%d chunk=%d/%d relax=%d insts=%d/%d "+
 		"stall=%d ckpt=%d busy=%d window=%d q=%d/%d/%d/%d depth=%s lat=%s fuM=%v fuC=%v",
 		m.Segments, m.SegmentsChecked, m.SegmentsUnchecked, m.SegmentsDegraded,
 		m.SegmentsMismatched, m.SegmentsReplayed, m.ShadowChecks,
-		m.SegmentsCheckedDivergent, m.DivergentDataMismatches, m.Insts, m.InstsChecked,
+		m.SegmentsCheckedDivergent, m.DivergentDataMismatches,
+		m.ChunkSegments, m.ChunkChecks, m.RelaxedDeferred, m.Insts, m.InstsChecked,
 		m.StallNS, m.CheckpointNS, m.CheckBusyNS, m.CheckWindowNS,
 		m.Quarantines, m.ProbationEntries, m.Readmissions, m.Retirements,
 		m.CheckQueueDepth.String(), m.CheckLatencyNS.String(), m.FUIssueMain, m.FUIssueChecker)
