@@ -80,8 +80,10 @@ func run(args []string) int {
 }
 
 // runVerify resolves the workload and runs the static program verifier,
-// printing every finding. Exit status 1 when any error-severity finding
-// exists.
+// printing every finding plus the abstract interpretation's proved
+// facts: the per-hart termination bound and the address interval,
+// alignment and bounds status of every reachable memory access. Exit
+// status 1 when any error-severity finding exists.
 func runVerify(name string, insts int64) int {
 	w, err := resolve(name, insts)
 	if err != nil {
@@ -91,8 +93,33 @@ func runVerify(name string, insts int64) int {
 	rep := verify.Verify(w.Prog)
 	fmt.Printf("verify %s: %d insts, %d entry point(s), %d non-repeatable instruction(s)\n",
 		w.Prog.Name, len(w.Prog.Insts), len(w.Prog.Entries), len(rep.NonRepeat))
+	if rep.MaxInsts > 0 {
+		fmt.Printf("termination: proved bound %d retired insts/hart\n", rep.MaxInsts)
+	} else {
+		fmt.Printf("termination: no proved bound\n")
+	}
 	for _, f := range rep.Findings {
 		fmt.Printf("  %s\n", f)
+	}
+	if len(rep.MemFacts) > 0 {
+		proved := 0
+		for _, mf := range rep.MemFacts {
+			if mf.Proved {
+				proved++
+			}
+		}
+		fmt.Printf("memory facts: %d access operand(s), %d proved in-bounds\n", len(rep.MemFacts), proved)
+		for _, mf := range rep.MemFacts {
+			status := "unproved"
+			switch {
+			case mf.Violation:
+				status = "VIOLATION"
+			case mf.Proved:
+				status = "in-bounds"
+			}
+			fmt.Printf("  pc %-5d %-9s %-26s size %d align %-4d %-9s %s\n",
+				mf.PC, mf.What, mf.Addr, mf.Size, mf.Align, status, disassemble(w.Prog, uint64(mf.PC)))
+		}
 	}
 	if len(rep.Errors()) > 0 {
 		fmt.Fprintf(os.Stderr, "lsldump: verify %s: %d violation(s)\n", w.Prog.Name, len(rep.Errors()))

@@ -6,7 +6,17 @@
 //	paraverser [flags] <experiment>...
 //
 // Experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area
-// opportunity ablation campaign divergent strategies all
+// opportunity ablation campaign divergent strategies fuzz all
+//
+// The fuzz experiment runs the verifier-screened differential program
+// fuzzer (-fuzz-seeds seeds of ~-fuzz-insts instructions, streamed
+// from -seed): every generated program must pass the abstract
+// interpreter's screening, then execute identically on the
+// per-instruction and block-compiled engines, under every checker
+// strategy, with and without time-sharded speculation, and verify
+// clean under divergent checking. Any disagreement exits 1 with a
+// minimized reproduction. Output is byte-identical at any -j or
+// -time-shards setting. Fuzz runs bypass the shared result cache.
 //
 // Flags select the simulation scale; the default "full" scale runs each
 // benchmark for 250k measured instructions after a 150k-instruction
@@ -75,6 +85,8 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "base seed for the fault-injection campaign (reproducible verdict tables)")
 	campaignTrials := fs.Int("campaign-trials", 0, "override campaign trial count (default: 4x fault-trials)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrent campaign trials (0 = GOMAXPROCS)")
+	fuzzSeeds := fs.Int("fuzz-seeds", 256, "seeds for the fuzz experiment (deterministic at any -j)")
+	fuzzInsts := fs.Int("fuzz-insts", 200, "per-program instruction target for the fuzz experiment")
 	workers := fs.Int("j", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	checkWorkers := fs.Int("check-workers", 0, "concurrent checker verifications per run (<= 1 = inline; results are identical at any setting)")
 	timeShards := fs.Int("time-shards", defaultTimeShards(), "segments emulated speculatively ahead of each run's timing stitch (1 = inline; results are identical at any setting)")
@@ -90,7 +102,7 @@ func run(args []string) int {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: paraverser [flags] <experiment>...\n")
 		fmt.Fprintf(fs.Output(), "       paraverser metrics [-trace trace.json] metrics.json\n")
-		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign divergent strategies all\n")
+		fmt.Fprintf(fs.Output(), "experiments: table1 fig6 fig7 fig8 fig9 fig10 fig11 power area opportunity ablation campaign divergent strategies fuzz all\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -179,6 +191,16 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "paraverser: -trace-cap must be >= 1 (got %d)\n", *traceCap)
 		return 2
 	}
+	// The fuzz knobs have no "default" zero: a campaign of zero seeds or
+	// zero-instruction programs is a mistake, not a request.
+	if *fuzzSeeds < 1 {
+		fmt.Fprintf(os.Stderr, "paraverser: -fuzz-seeds must be >= 1 (got %d)\n", *fuzzSeeds)
+		return 2
+	}
+	if *fuzzInsts < 1 {
+		fmt.Fprintf(os.Stderr, "paraverser: -fuzz-insts must be >= 1 (got %d)\n", *fuzzInsts)
+		return 2
+	}
 	st, err := core.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "paraverser: -strategy: %v\n", err)
@@ -254,7 +276,10 @@ func run(args []string) int {
 		names = []string{"table1", "area", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "power", "opportunity", "ablation", "campaign", "divergent", "strategies"}
 		concurrent = true
 	}
-	camp := campaignOpts{seed: *seed, trials: *campaignTrials, workers: *campaignWorkers}
+	camp := campaignOpts{
+		seed: *seed, trials: *campaignTrials, workers: *campaignWorkers,
+		fuzzSeeds: *fuzzSeeds, fuzzInsts: *fuzzInsts, fuzzWorkers: *workers,
+	}
 
 	type report struct {
 		text string
@@ -361,11 +386,17 @@ func runMetricsCmd(args []string) int {
 	return 0
 }
 
-// campaignOpts carries the campaign subcommand's knobs.
+// campaignOpts carries the campaign and fuzz subcommands' knobs.
 type campaignOpts struct {
 	seed    int64
 	trials  int
 	workers int
+	// fuzz experiment: seed count, per-program instruction target, and
+	// the -j worker bound (fuzz runs outside the simulation engine, so
+	// it applies -j itself).
+	fuzzSeeds   int
+	fuzzInsts   int
+	fuzzWorkers int
 }
 
 // runExperiment renders one experiment's report. It returns the output
@@ -395,6 +426,18 @@ func runExperiment(name string, sc experiments.Scale, camp campaignOpts) (string
 		}
 		fmt.Fprintf(&b, "checker-strategy head-to-head, seed %d\n\n", camp.seed)
 		fmt.Fprintln(&b, r.Table())
+	case "fuzz":
+		workers := camp.fuzzWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		r := experiments.Fuzz(camp.fuzzSeeds, camp.fuzzInsts, workers, uint64(camp.seed))
+		fmt.Fprintf(&b, "differential fuzz: %d seeds, ~%d insts each, base seed %d\n\n",
+			camp.fuzzSeeds, camp.fuzzInsts, camp.seed)
+		fmt.Fprintln(&b, r.Table())
+		if !r.Clean() {
+			return "", fmt.Errorf("fuzz campaign found divergences:\n%s", strings.TrimRight(r.Failures(), "\n"))
+		}
 	case "table1":
 		fmt.Fprintln(&b, experiments.Table1())
 	case "area":

@@ -67,6 +67,10 @@ func TestFlagValidation(t *testing.T) {
 		{"zero -trace-cap", []string{"-trace-cap", "0", "table1"}, 2},
 		{"negative -trace-cap", []string{"-trace-cap", "-8", "table1"}, 2},
 		{"zero -time-shards", []string{"-time-shards", "0", "table1"}, 2},
+		{"zero -fuzz-seeds", []string{"-fuzz-seeds", "0", "table1"}, 2},
+		{"negative -fuzz-seeds", []string{"-fuzz-seeds", "-16", "table1"}, 2},
+		{"zero -fuzz-insts", []string{"-fuzz-insts", "0", "table1"}, 2},
+		{"negative -fuzz-insts", []string{"-fuzz-insts", "-200", "table1"}, 2},
 		{"unknown -strategy", []string{"-strategy", "bogus", "table1"}, 2},
 		{"divergent -strategy", []string{"-strategy", "divergent", "table1"}, 2},
 		// Valid edges: zero means "default" for the counts, and every
@@ -220,6 +224,18 @@ func TestExportFailureExitsNonzero(t *testing.T) {
 	})
 	if code != 1 {
 		t.Errorf("unwritable -metrics-out: exit %d, want 1", code)
+	}
+}
+
+// TestRunTinyFuzz drives the fuzz experiment end to end through the
+// CLI, at two -j settings whose reports must agree (the experiment's
+// own table is printed to stdout; here exit status is the contract —
+// a mismatch or screening failure exits 1).
+func TestRunTinyFuzz(t *testing.T) {
+	for _, j := range []string{"1", "4"} {
+		if code := run([]string{"-j", j, "-fuzz-seeds", "6", "-fuzz-insts", "120", "fuzz"}); code != 0 {
+			t.Errorf("-j %s fuzz: exit %d, want 0", j, code)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"paraverser/internal/asm"
 	"paraverser/internal/emu"
@@ -133,7 +134,10 @@ func (p *DivergentPlan) PermuteState(st *emu.ArchState) emu.ArchState {
 // end checkpoint through the register permutation — the RCU induction
 // check in the canonical domain. Integer registers use the dual accept
 // (a register may legitimately hold the rebased form of a data
-// pointer); FP registers never carry addresses and must match exactly.
+// pointer); FP registers never carry addresses and must match bitwise,
+// like the lockstep RCU compare — float equality would false-positive
+// on NaN (NaN != NaN) the moment a workload parks one in a register
+// across a segment boundary.
 //
 //paralint:hotpath
 func (p *DivergentPlan) EndMatches(want, got *emu.ArchState) bool {
@@ -146,7 +150,7 @@ func (p *DivergentPlan) EndMatches(want, got *emu.ArchState) bool {
 		}
 	}
 	for i, v := range want.F {
-		if got.F[p.Map.FPerm[i]] != v {
+		if math.Float64bits(got.F[p.Map.FPerm[i]]) != math.Float64bits(v) {
 			return false
 		}
 	}

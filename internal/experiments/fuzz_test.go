@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFuzzExperimentDeterministicAcrossWorkers pins the rendered
+// campaign report — table included — as byte-identical at any worker
+// count.
+func TestFuzzExperimentDeterministicAcrossWorkers(t *testing.T) {
+	a := Fuzz(6, 120, 1, 1)
+	b := Fuzz(6, 120, 4, 1)
+	if a.Table() != b.Table() {
+		t.Fatalf("fuzz experiment diverged across worker counts:\n--- w=1 ---\n%s--- w=4 ---\n%s", a.Table(), b.Table())
+	}
+	if !a.Clean() {
+		t.Fatalf("tiny campaign not clean:\n%s", a.Failures())
+	}
+	if !strings.Contains(a.Table(), "all seeds agree") {
+		t.Fatalf("clean campaign table missing agreement line:\n%s", a.Table())
+	}
+}

@@ -1,0 +1,890 @@
+// Abstract domains for the interval analysis (absint.go): AbsVal is the
+// reduced product of a signed interval and a known-bits (bit-level
+// constant/alignment) fact over one 64-bit integer register; FVal is a
+// float64 interval with an explicit may-be-NaN flag. Every transfer
+// function mirrors the exact semantics of emu.Hart.StepDecoded: the
+// soundness contract, enforced differentially by domain_test.go, is
+// that a transfer never excludes a value the emulator can produce.
+
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// AbsVal abstracts one 64-bit integer register value as the product of
+// a signed interval [Lo, Hi] and a known-bits fact: every bit set in
+// KMask is known to equal the corresponding bit of KVal on every
+// execution reaching the program point. The concretisation is the
+// intersection of the two components. Lo > Hi encodes bottom (no
+// value reaches the point).
+type AbsVal struct {
+	Lo, Hi int64
+	KMask  uint64
+	KVal   uint64
+}
+
+// TopVal is the unconstrained value.
+func TopVal() AbsVal { return AbsVal{Lo: math.MinInt64, Hi: math.MaxInt64} }
+
+// BotVal is the empty (unreachable) value.
+func BotVal() AbsVal { return AbsVal{Lo: math.MaxInt64, Hi: math.MinInt64} }
+
+// ConstVal abstracts an exactly known value.
+func ConstVal(v uint64) AbsVal {
+	return AbsVal{Lo: int64(v), Hi: int64(v), KMask: ^uint64(0), KVal: v}
+}
+
+// RangeVal abstracts a signed interval with no bit-level knowledge.
+func RangeVal(lo, hi int64) AbsVal { return mkVal(lo, hi, 0, 0) }
+
+// IsBot reports whether no value reaches the point.
+func (a AbsVal) IsBot() bool { return a.Lo > a.Hi }
+
+// IsTop reports whether nothing is known.
+func (a AbsVal) IsTop() bool {
+	return a.Lo == math.MinInt64 && a.Hi == math.MaxInt64 && a.KMask == 0
+}
+
+// IsConst returns the exact value when the abstraction pins one.
+func (a AbsVal) IsConst() (uint64, bool) {
+	if a.Lo == a.Hi {
+		return uint64(a.Lo), true
+	}
+	return 0, false
+}
+
+// Contains reports whether the concrete value is admitted.
+func (a AbsVal) Contains(v uint64) bool {
+	return !a.IsBot() && int64(v) >= a.Lo && int64(v) <= a.Hi && v&a.KMask == a.KVal
+}
+
+// Align returns the largest power of two dividing every admitted value
+// (the provable alignment).
+func (a AbsVal) Align() uint64 {
+	n := bits.TrailingZeros64(a.KVal | ^a.KMask)
+	if n > 63 {
+		n = 63
+	}
+	return uint64(1) << uint(n)
+}
+
+func (a AbsVal) String() string {
+	switch {
+	case a.IsBot():
+		return "⊥"
+	case a.IsTop():
+		return "⊤"
+	}
+	if v, ok := a.IsConst(); ok {
+		return fmt.Sprintf("%#x", v)
+	}
+	s := fmt.Sprintf("[%d,%d]", a.Lo, a.Hi)
+	if al := a.Align(); al > 1 {
+		s += fmt.Sprintf("/align%d", al)
+	}
+	return s
+}
+
+// boundsFromBits derives the tightest signed interval consistent with a
+// known-bits fact: unknown bits take the extreme settings, with the
+// sign bit driving which direction is the minimum.
+func boundsFromBits(km, kv uint64) (int64, int64) {
+	const sign = uint64(1) << 63
+	unk := ^km
+	if km&sign != 0 {
+		return int64(kv), int64(kv | unk)
+	}
+	return int64(kv | sign), int64((kv | unk) &^ sign)
+}
+
+// mkVal builds a reduced AbsVal: the interval and bit components are
+// tightened against each other (bit-derived bounds, sign/width bits
+// derived from the interval, low-bit congruence rounding of the
+// endpoints) and contradictions collapse to bottom.
+func mkVal(lo, hi int64, km, kv uint64) AbsVal {
+	kv &= km
+	if lo > hi {
+		return BotVal()
+	}
+	if blo, bhi := boundsFromBits(km, kv); true {
+		if blo > lo {
+			lo = blo
+		}
+		if bhi < hi {
+			hi = bhi
+		}
+	}
+	if lo > hi {
+		return BotVal()
+	}
+	if lo >= 0 {
+		zm := ^uint64(0)
+		if hi > 0 {
+			zm = ^uint64(0) << uint(bits.Len64(uint64(hi)))
+		}
+		if kv&zm != 0 {
+			return BotVal()
+		}
+		km |= zm
+	} else if hi < 0 {
+		const sign = uint64(1) << 63
+		if km&sign != 0 && kv&sign == 0 {
+			return BotVal()
+		}
+		km |= sign
+		kv |= sign
+	}
+	if k := bits.TrailingZeros64(^km); k > 0 && k < 64 {
+		m := uint64(1)<<uint(k) - 1
+		want := kv & m
+		if d := (want - uint64(lo)) & m; d != 0 {
+			if lo > math.MaxInt64-int64(d) {
+				return BotVal()
+			}
+			lo += int64(d)
+		}
+		if d := (uint64(hi) - want) & m; d != 0 {
+			if hi < math.MinInt64+int64(d) {
+				return BotVal()
+			}
+			hi -= int64(d)
+		}
+		if lo > hi {
+			return BotVal()
+		}
+	}
+	if lo == hi {
+		v := uint64(lo)
+		if v&km != kv {
+			return BotVal()
+		}
+		return AbsVal{Lo: lo, Hi: hi, KMask: ^uint64(0), KVal: v}
+	}
+	return AbsVal{Lo: lo, Hi: hi, KMask: km, KVal: kv}
+}
+
+// Join is the least upper bound: interval hull, bits where both sides
+// agree and know.
+func (a AbsVal) Join(b AbsVal) AbsVal {
+	if a.IsBot() {
+		return b
+	}
+	if b.IsBot() {
+		return a
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo < lo {
+		lo = b.Lo
+	}
+	if b.Hi > hi {
+		hi = b.Hi
+	}
+	km := a.KMask & b.KMask &^ (a.KVal ^ b.KVal)
+	return mkVal(lo, hi, km, a.KVal&km)
+}
+
+// Meet is the greatest lower bound, used by branch refinement:
+// interval intersection, bits from either side, contradiction = bottom.
+func (a AbsVal) Meet(b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	if a.KMask&b.KMask&(a.KVal^b.KVal) != 0 {
+		return BotVal()
+	}
+	lo, hi := a.Lo, a.Hi
+	if b.Lo > lo {
+		lo = b.Lo
+	}
+	if b.Hi < hi {
+		hi = b.Hi
+	}
+	return mkVal(lo, hi, a.KMask|b.KMask, a.KVal|b.KVal)
+}
+
+// Widen accelerates convergence at loop heads: an unstable interval
+// bound jumps to its extreme. Known bits need no widening — they only
+// ever decrease under Join, a finite descent.
+func (a AbsVal) Widen(b AbsVal) AbsVal {
+	if a.IsBot() {
+		return b
+	}
+	lo, hi := b.Lo, b.Hi
+	if lo < a.Lo {
+		lo = math.MinInt64
+	}
+	if hi > a.Hi {
+		hi = math.MaxInt64
+	}
+	return mkVal(lo, hi, b.KMask, b.KVal)
+}
+
+// --- integer transfer functions (mirroring emu.Hart.StepDecoded) ---
+
+func trailingKnown(km uint64) int { return bits.TrailingZeros64(^km) }
+
+func lowMask(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}
+
+func addOv(x, y int64) (int64, bool) {
+	s := x + y
+	if (y > 0 && s < x) || (y < 0 && s > x) {
+		return 0, false
+	}
+	return s, true
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func avAdd(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	lo, okLo := addOv(a.Lo, b.Lo)
+	hi, okHi := addOv(a.Hi, b.Hi)
+	if !okLo || !okHi {
+		lo, hi = math.MinInt64, math.MaxInt64
+	}
+	// Carries propagate upward only: the low k bits of the sum depend
+	// only on the low k bits of the operands (alignment preservation).
+	km := lowMask(minI(trailingKnown(a.KMask), trailingKnown(b.KMask)))
+	return mkVal(lo, hi, km, (a.KVal+b.KVal)&km)
+}
+
+func avSub(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	lo, okLo := addOv(a.Lo, -b.Hi)
+	hi, okHi := addOv(a.Hi, -b.Lo)
+	if b.Hi == math.MinInt64 || b.Lo == math.MinInt64 { // -MinInt64 overflows
+		okLo, okHi = false, false
+	}
+	if !okLo || !okHi {
+		lo, hi = math.MinInt64, math.MaxInt64
+	}
+	km := lowMask(minI(trailingKnown(a.KMask), trailingKnown(b.KMask)))
+	return mkVal(lo, hi, km, (a.KVal-b.KVal)&km)
+}
+
+func avMul(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	// Low k bits of the product depend only on the low k bits of the
+	// operands; known trailing zeros additionally sum.
+	k := minI(trailingKnown(a.KMask), trailingKnown(b.KMask))
+	za := bits.TrailingZeros64(a.KVal | ^a.KMask)
+	zb := bits.TrailingZeros64(b.KVal | ^b.KMask)
+	kz := za + zb
+	if kz > 64 {
+		kz = 64
+	}
+	km := lowMask(k) | lowMask(kz)
+	kv := (a.KVal * b.KVal) & lowMask(k)
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	const lim = int64(1) << 31
+	if a.Lo >= -lim && a.Hi <= lim && b.Lo >= -lim && b.Hi <= lim {
+		c := [4]int64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+		lo, hi = c[0], c[0]
+		for _, v := range c[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return mkVal(lo, hi, km, kv)
+}
+
+func avAnd(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	kz := (a.KMask &^ a.KVal) | (b.KMask &^ b.KVal)
+	ko := (a.KMask & a.KVal) & (b.KMask & b.KVal)
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if a.Lo >= 0 || b.Lo >= 0 {
+		lo = 0
+		if a.Lo >= 0 && a.Hi < hi {
+			hi = a.Hi
+		}
+		if b.Lo >= 0 && b.Hi < hi {
+			hi = b.Hi
+		}
+	}
+	return mkVal(lo, hi, kz|ko, ko)
+}
+
+func avOr(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	kz := (a.KMask &^ a.KVal) & (b.KMask &^ b.KVal)
+	ko := (a.KMask & a.KVal) | (b.KMask & b.KVal)
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if a.Lo >= 0 && b.Lo >= 0 {
+		lo = a.Lo
+		if b.Lo > lo {
+			lo = b.Lo
+		}
+		// The upper bound tightens through the known-zero high bits in
+		// mkVal's reduction.
+	}
+	return mkVal(lo, hi, kz|ko, ko)
+}
+
+func avXor(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	azero, aone := a.KMask&^a.KVal, a.KMask&a.KVal
+	bzero, bone := b.KMask&^b.KVal, b.KMask&b.KVal
+	ko := (aone & bzero) | (bone & azero)
+	kz := (azero & bzero) | (aone & bone)
+	return mkVal(math.MinInt64, math.MaxInt64, kz|ko, ko)
+}
+
+func avShlConst(a AbsVal, c uint64) AbsVal {
+	if a.IsBot() {
+		return BotVal()
+	}
+	c &= 63
+	if c == 0 {
+		return a
+	}
+	km := a.KMask<<c | lowMask(int(c))
+	kv := a.KVal << c
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	lim := int64(1) << uint(63-c)
+	if a.Lo > -lim && a.Hi < lim {
+		lo, hi = a.Lo<<c, a.Hi<<c
+	}
+	return mkVal(lo, hi, km, kv)
+}
+
+func avShl(a, sh AbsVal) AbsVal {
+	if a.IsBot() || sh.IsBot() {
+		return BotVal()
+	}
+	if c, ok := sh.IsConst(); ok {
+		return avShlConst(a, c)
+	}
+	if v, ok := a.IsConst(); ok && v == 0 {
+		return ConstVal(0)
+	}
+	return TopVal()
+}
+
+func avShrConst(a AbsVal, c uint64) AbsVal {
+	if a.IsBot() {
+		return BotVal()
+	}
+	c &= 63
+	if c == 0 {
+		return a
+	}
+	km := a.KMask>>c | ^(^uint64(0) >> c)
+	kv := a.KVal >> c
+	lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+	if a.Lo >= 0 {
+		lo, hi = a.Lo>>c, a.Hi>>c
+	}
+	return mkVal(lo, hi, km, kv)
+}
+
+func avShr(a, sh AbsVal) AbsVal {
+	if a.IsBot() || sh.IsBot() {
+		return BotVal()
+	}
+	if c, ok := sh.IsConst(); ok {
+		return avShrConst(a, c)
+	}
+	if a.Lo >= 0 {
+		return RangeVal(0, a.Hi) // any right shift of a non-negative shrinks it
+	}
+	return TopVal()
+}
+
+func avSarConst(a AbsVal, c uint64) AbsVal {
+	if a.IsBot() {
+		return BotVal()
+	}
+	c &= 63
+	if c == 0 {
+		return a
+	}
+	const sign = uint64(1) << 63
+	km := a.KMask >> c
+	kv := a.KVal >> c
+	if a.KMask&sign != 0 {
+		high := ^(^uint64(0) >> c)
+		km |= high
+		if a.KVal&sign != 0 {
+			kv |= high
+		}
+	}
+	return mkVal(a.Lo>>c, a.Hi>>c, km, kv)
+}
+
+func avSar(a, sh AbsVal) AbsVal {
+	if a.IsBot() || sh.IsBot() {
+		return BotVal()
+	}
+	if c, ok := sh.IsConst(); ok {
+		return avSarConst(a, c)
+	}
+	lo, hi := a.Lo, a.Hi
+	if lo > 0 {
+		lo = 0 // large shifts take positives to 0
+	}
+	if hi < -1 {
+		hi = -1 // ... and negatives to -1
+	}
+	return RangeVal(lo, hi)
+}
+
+// uRange gives the unsigned range of an AbsVal when it is contiguous in
+// the unsigned order (entirely non-negative or entirely negative as a
+// signed value); mixed-sign intervals span the whole unsigned space.
+func uRange(a AbsVal) (uint64, uint64) {
+	if a.Lo >= 0 || a.Hi < 0 {
+		return uint64(a.Lo), uint64(a.Hi)
+	}
+	return 0, ^uint64(0)
+}
+
+func avBool() AbsVal { return mkVal(0, 1, ^uint64(1), 0) }
+
+func avSltSigned(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	if a.Hi < b.Lo {
+		return ConstVal(1)
+	}
+	if a.Lo >= b.Hi {
+		return ConstVal(0)
+	}
+	return avBool()
+}
+
+func avSltU(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	alo, ahi := uRange(a)
+	blo, bhi := uRange(b)
+	if ahi < blo {
+		return ConstVal(1)
+	}
+	if alo >= bhi {
+		return ConstVal(0)
+	}
+	return avBool()
+}
+
+// qdiv is corner division with the MinInt64/-1 overflow saturated to
+// MaxInt64: the true quotient 2^63 exceeds the domain, and quotients at
+// nearby divisors (e.g. MinInt64/-2) climb toward it monotonically, so
+// the corner must not report the wrapped runtime value. The wrap itself
+// is joined in separately by avDiv.
+func qdiv(x, y int64) int64 {
+	if x == math.MinInt64 && y == -1 {
+		return math.MaxInt64
+	}
+	return x / y
+}
+
+func divCorners(a AbsVal, c, d int64) AbsVal {
+	q := [4]int64{qdiv(a.Lo, c), qdiv(a.Lo, d), qdiv(a.Hi, c), qdiv(a.Hi, d)}
+	lo, hi := q[0], q[0]
+	for _, v := range q[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return RangeVal(lo, hi)
+}
+
+func avDiv(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	res := BotVal()
+	if b.Contains(0) {
+		res = res.Join(ConstVal(^uint64(0))) // divide by zero: all-ones, no trap
+	}
+	if b.Hi >= 1 {
+		c := b.Lo
+		if c < 1 {
+			c = 1
+		}
+		res = res.Join(divCorners(a, c, b.Hi))
+	}
+	if b.Lo <= -1 {
+		d := b.Hi
+		if d > -1 {
+			d = -1
+		}
+		res = res.Join(divCorners(a, b.Lo, d))
+	}
+	// MinInt64 / -1 wraps back to MinInt64 at runtime.
+	if a.Contains(1<<63) && b.Contains(^uint64(0)) {
+		res = res.Join(ConstVal(1 << 63))
+	}
+	return res
+}
+
+func avRem(a, b AbsVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	res := BotVal()
+	if b.Contains(0) {
+		res = a // modulo zero passes the dividend through
+	}
+	if b.Hi >= 1 || b.Lo <= -1 {
+		// |rem| < |b|; when b can be MinInt64, |b|-1 is exactly MaxInt64.
+		loCap, hiCap := int64(math.MinInt64)+1, int64(math.MaxInt64)
+		if b.Lo != math.MinInt64 {
+			mb := b.Hi
+			if -b.Lo > mb {
+				mb = -b.Lo
+			}
+			loCap, hiCap = -(mb - 1), mb-1
+		}
+		lo, hi := int64(0), int64(0)
+		if a.Lo < 0 {
+			lo = a.Lo
+			if loCap > lo {
+				lo = loCap
+			}
+		}
+		if a.Hi > 0 {
+			hi = a.Hi
+			if hiCap < hi {
+				hi = hiCap
+			}
+		}
+		res = res.Join(RangeVal(lo, hi))
+	}
+	return res
+}
+
+// avLoad abstracts a zero-extended load of the given size.
+func avLoad(size uint8) AbsVal {
+	if size >= 8 {
+		return TopVal()
+	}
+	return RangeVal(0, int64(uint64(1)<<(8*uint(size))-1))
+}
+
+// --- float64 interval domain ---
+
+// FVal abstracts one floating-point register as a closed float64
+// interval plus a may-be-NaN flag. Lo > Hi with NaN set means
+// "NaN only"; Lo > Hi with NaN clear is bottom.
+type FVal struct {
+	Lo, Hi float64
+	NaN    bool
+}
+
+// TopF is the unconstrained float.
+func TopF() FVal { return FVal{Lo: math.Inf(-1), Hi: math.Inf(1), NaN: true} }
+
+// BotF is the empty float.
+func BotF() FVal { return FVal{Lo: math.Inf(1), Hi: math.Inf(-1)} }
+
+func nanOnly() FVal { return FVal{Lo: math.Inf(1), Hi: math.Inf(-1), NaN: true} }
+
+// ConstF abstracts an exactly known float.
+func ConstF(v float64) FVal {
+	if math.IsNaN(v) {
+		return nanOnly()
+	}
+	return FVal{Lo: v, Hi: v}
+}
+
+// IsBot reports whether no value (not even NaN) reaches the point.
+func (a FVal) IsBot() bool { return !a.hasRange() && !a.NaN }
+
+func (a FVal) hasRange() bool { return a.Lo <= a.Hi }
+
+func (a FVal) finite() bool {
+	return a.hasRange() && !math.IsInf(a.Lo, 0) && !math.IsInf(a.Hi, 0)
+}
+
+// ContainsF reports whether the concrete value is admitted.
+func (a FVal) ContainsF(v float64) bool {
+	if math.IsNaN(v) {
+		return a.NaN
+	}
+	return a.hasRange() && v >= a.Lo && v <= a.Hi
+}
+
+func (a FVal) String() string {
+	switch {
+	case a.IsBot():
+		return "⊥"
+	case !a.hasRange():
+		return "NaN"
+	}
+	s := fmt.Sprintf("[%g,%g]", a.Lo, a.Hi)
+	if a.NaN {
+		s += "|NaN"
+	}
+	return s
+}
+
+// JoinF is the least upper bound.
+func (a FVal) JoinF(b FVal) FVal {
+	out := FVal{NaN: a.NaN || b.NaN}
+	switch {
+	case !a.hasRange():
+		out.Lo, out.Hi = b.Lo, b.Hi
+	case !b.hasRange():
+		out.Lo, out.Hi = a.Lo, a.Hi
+	default:
+		out.Lo, out.Hi = math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)
+	}
+	return out
+}
+
+// WidenF jumps unstable bounds to infinity.
+func (a FVal) WidenF(b FVal) FVal {
+	if a.IsBot() {
+		return b
+	}
+	out := b
+	if b.hasRange() && a.hasRange() {
+		if b.Lo < a.Lo {
+			out.Lo = math.Inf(-1)
+		}
+		if b.Hi > a.Hi {
+			out.Hi = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// fBinPre handles the degenerate operand cases common to all binary FP
+// transfers; ok=false means the result is already decided.
+func fBinPre(a, b FVal) (FVal, bool) {
+	if a.IsBot() || b.IsBot() {
+		return BotF(), false
+	}
+	if !a.hasRange() || !b.hasRange() {
+		return nanOnly(), false // a NaN operand forces a NaN result
+	}
+	if !a.finite() || !b.finite() || a.NaN || b.NaN {
+		return TopF(), false
+	}
+	return FVal{}, true
+}
+
+func fAdd(a, b FVal) FVal {
+	if r, ok := fBinPre(a, b); !ok {
+		return r
+	}
+	return FVal{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}
+}
+
+func fSub(a, b FVal) FVal {
+	if r, ok := fBinPre(a, b); !ok {
+		return r
+	}
+	return FVal{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}
+}
+
+func fMul(a, b FVal) FVal {
+	if r, ok := fBinPre(a, b); !ok {
+		return r
+	}
+	c := [4]float64{a.Lo * b.Lo, a.Lo * b.Hi, a.Hi * b.Lo, a.Hi * b.Hi}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return FVal{Lo: lo, Hi: hi}
+}
+
+func fDiv(a, b FVal) FVal {
+	if r, ok := fBinPre(a, b); !ok {
+		return r
+	}
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return TopF() // divisor may be zero: ±Inf and NaN possible
+	}
+	c := [4]float64{a.Lo / b.Lo, a.Lo / b.Hi, a.Hi / b.Lo, a.Hi / b.Hi}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return FVal{Lo: lo, Hi: hi}
+}
+
+func fSqrt(a FVal) FVal {
+	if a.IsBot() {
+		return BotF()
+	}
+	nan := a.NaN || (a.hasRange() && a.Lo < 0)
+	if !a.hasRange() || a.Hi < 0 {
+		return nanOnly()
+	}
+	lo := a.Lo
+	if lo < 0 {
+		lo = 0
+	}
+	return FVal{Lo: math.Sqrt(lo), Hi: math.Sqrt(a.Hi), NaN: nan}
+}
+
+func fNeg(a FVal) FVal {
+	if !a.hasRange() {
+		return a
+	}
+	return FVal{Lo: -a.Hi, Hi: -a.Lo, NaN: a.NaN}
+}
+
+func fAbs(a FVal) FVal {
+	if !a.hasRange() {
+		return a
+	}
+	out := FVal{NaN: a.NaN}
+	switch {
+	case a.Lo >= 0:
+		out.Lo, out.Hi = a.Lo, a.Hi
+	case a.Hi <= 0:
+		out.Lo, out.Hi = -a.Hi, -a.Lo
+	default:
+		out.Lo, out.Hi = 0, math.Max(-a.Lo, a.Hi)
+	}
+	return out
+}
+
+func fMin(a, b FVal) FVal {
+	if a.IsBot() || b.IsBot() {
+		return BotF()
+	}
+	if !a.hasRange() || !b.hasRange() {
+		return nanOnly() // math.Min propagates NaN
+	}
+	return FVal{Lo: math.Min(a.Lo, b.Lo), Hi: math.Min(a.Hi, b.Hi), NaN: a.NaN || b.NaN}
+}
+
+func fMax(a, b FVal) FVal {
+	if a.IsBot() || b.IsBot() {
+		return BotF()
+	}
+	if !a.hasRange() || !b.hasRange() {
+		return nanOnly()
+	}
+	return FVal{Lo: math.Max(a.Lo, b.Lo), Hi: math.Max(a.Hi, b.Hi), NaN: a.NaN || b.NaN}
+}
+
+// fCvtIF abstracts Fd = float64(int64(Xs1)): monotone, never NaN.
+func fCvtIF(a AbsVal) FVal {
+	if a.IsBot() {
+		return BotF()
+	}
+	return FVal{Lo: float64(a.Lo), Hi: float64(a.Hi)}
+}
+
+// fCvtFI abstracts Xd = uint64(int64(Fs1)): truncation toward zero is
+// monotone, but out-of-range and NaN conversions are implementation-
+// defined, so anything outside a safe band degrades to top.
+func fCvtFI(f FVal) AbsVal {
+	if f.IsBot() {
+		return BotVal()
+	}
+	const safe = float64(1 << 62)
+	if f.NaN || !f.hasRange() || f.Lo < -safe || f.Hi > safe {
+		return TopVal()
+	}
+	return RangeVal(int64(f.Lo), int64(f.Hi))
+}
+
+// fMvIF abstracts Fd = frombits(Xs1); only an exact bit pattern keeps
+// any precision.
+func fMvIF(a AbsVal) FVal {
+	if a.IsBot() {
+		return BotF()
+	}
+	if v, ok := a.IsConst(); ok {
+		return ConstF(math.Float64frombits(v))
+	}
+	return TopF()
+}
+
+// fMvFI abstracts Xd = bits(Fs1). A zero-valued interval admits both
+// +0 and -0, whose bit patterns differ, so only nonzero exact values
+// transfer.
+func fMvFI(f FVal) AbsVal {
+	if f.IsBot() {
+		return BotVal()
+	}
+	if !f.NaN && f.hasRange() && f.Lo == f.Hi && f.Lo != 0 {
+		return ConstVal(math.Float64bits(f.Lo))
+	}
+	return TopVal()
+}
+
+// fEq abstracts Xd = (Fs1 == Fs2); NaN compares false.
+func fEq(a, b FVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	if a.hasRange() && b.hasRange() {
+		if a.Hi < b.Lo || b.Hi < a.Lo {
+			if !a.NaN && !b.NaN {
+				return ConstVal(0)
+			}
+			return ConstVal(0) // disjoint ranges or NaN: both compare unequal
+		}
+		if !a.NaN && !b.NaN && a.Lo == a.Hi && b.Lo == b.Hi && a.Lo == b.Lo {
+			return ConstVal(1)
+		}
+	} else if !a.NaN && !b.NaN {
+		return BotVal()
+	} else {
+		return ConstVal(0) // a NaN operand: == is always false
+	}
+	return avBool()
+}
+
+// fLt abstracts Xd = (Fs1 < Fs2); NaN compares false.
+func fLt(a, b FVal) AbsVal {
+	if a.IsBot() || b.IsBot() {
+		return BotVal()
+	}
+	if !a.hasRange() || !b.hasRange() {
+		if !a.NaN && !b.NaN {
+			return BotVal()
+		}
+		return ConstVal(0)
+	}
+	if !a.NaN && !b.NaN && a.Hi < b.Lo {
+		return ConstVal(1)
+	}
+	if a.Lo >= b.Hi {
+		return ConstVal(0) // holds for the numeric cases; NaN is false anyway
+	}
+	return avBool()
+}

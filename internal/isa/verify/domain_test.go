@@ -1,0 +1,379 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"paraverser/internal/emu"
+	"paraverser/internal/isa"
+)
+
+// splitmix64 is the test's deterministic value source.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// interestingU64 biases samples toward boundary values where interval
+// and bit arithmetic break.
+func interestingU64(r *splitmix64) uint64 {
+	switch r.next() % 8 {
+	case 0:
+		return r.next() % 256
+	case 1:
+		return -(r.next() % 256)
+	case 2:
+		return uint64(math.MaxInt64) - r.next()%4
+	case 3:
+		return uint64(math.MaxInt64) + 1 + r.next()%4 // around MinInt64
+	case 4:
+		return 1 << (r.next() % 64)
+	case 5:
+		return (1 << (r.next() % 64)) - 1
+	default:
+		return r.next()
+	}
+}
+
+// absValContaining builds a random abstract value guaranteed to admit v.
+func absValContaining(r *splitmix64, v uint64) AbsVal {
+	switch r.next() % 4 {
+	case 0:
+		return ConstVal(v)
+	case 1:
+		return TopVal()
+	case 2:
+		lo, hi := int64(v), int64(v)
+		d1, d2 := int64(r.next()%1024), int64(r.next()%1024)
+		if lo > math.MinInt64+d1 {
+			lo -= d1
+		}
+		if hi < math.MaxInt64-d2 {
+			hi += d2
+		}
+		return RangeVal(lo, hi)
+	default:
+		km := r.next() & r.next() // sparse known mask
+		lo, hi := int64(v), int64(v)
+		d := int64(r.next() % (1 << 20))
+		if lo > math.MinInt64+d {
+			lo -= d
+		}
+		if hi < math.MaxInt64-d {
+			hi += d
+		}
+		a := mkVal(lo, hi, km, v&km)
+		if !a.Contains(v) {
+			t := mkVal(int64(v), int64(v), km, v&km)
+			if t.Contains(v) {
+				return t
+			}
+			return ConstVal(v)
+		}
+		return a
+	}
+}
+
+// fValContaining builds a random float abstraction guaranteed to admit f.
+func fValContaining(r *splitmix64, f float64) FVal {
+	if math.IsNaN(f) {
+		return TopF()
+	}
+	switch r.next() % 3 {
+	case 0:
+		return ConstF(f)
+	case 1:
+		return TopF()
+	default:
+		d := float64(r.next()%1000) / 3
+		return FVal{Lo: f - d, Hi: f + d, NaN: r.next()%2 == 0}
+	}
+}
+
+func interestingF64(r *splitmix64) float64 {
+	switch r.next() % 8 {
+	case 0:
+		return 0
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.NaN()
+	case 3:
+		return -float64(r.next() % 1000)
+	case 4:
+		return float64(r.next()%1000) / 7
+	case 5:
+		return math.Float64frombits(r.next()) // arbitrary bit pattern
+	default:
+		return float64(int64(r.next() % (1 << 40)))
+	}
+}
+
+// TestDomainLatticeLaws samples concrete values and checks the
+// membership contracts of Join (upper bound), Meet (lower bound w.r.t.
+// intersection), Widen (covers the join) and mkVal (reduction never
+// drops members).
+func TestDomainLatticeLaws(t *testing.T) {
+	r := splitmix64(1)
+	for i := 0; i < 20000; i++ {
+		v := interestingU64(&r)
+		a := absValContaining(&r, v)
+		w := interestingU64(&r)
+		b := absValContaining(&r, w)
+
+		j := a.Join(b)
+		if !j.Contains(v) || !j.Contains(w) {
+			t.Fatalf("join not an upper bound: %s ⊔ %s = %s drops %#x or %#x", a, b, j, v, w)
+		}
+		if wd := a.Widen(j); !wd.Contains(v) || !wd.Contains(w) {
+			t.Fatalf("widen below join: widen(%s, %s) = %s drops a member", a, j, wd)
+		}
+		if a.Contains(w) && b.Contains(w) {
+			if m := a.Meet(b); !m.Contains(w) {
+				t.Fatalf("meet drops common member: %s ⊓ %s = %s drops %#x", a, b, m, w)
+			}
+		}
+		// Reduction: rebuilding from the components keeps membership.
+		if red := mkVal(a.Lo, a.Hi, a.KMask, a.KVal); !red.Contains(v) {
+			t.Fatalf("mkVal reduction drops member: %s -> %s drops %#x", a, red, v)
+		}
+	}
+}
+
+// TestWidenStabilises checks the widening chain terminates: along any
+// sequence w' = Widen(w, Join(w, x)) the number of strict changes is
+// small and bounded (each interval end can only escape to ±inf once,
+// and known bits only ever disappear — at most 64 of them).
+func TestWidenStabilises(t *testing.T) {
+	r := splitmix64(7)
+	for i := 0; i < 100; i++ {
+		cur := absValContaining(&r, interestingU64(&r))
+		changes := 0
+		for step := 0; step < 500; step++ {
+			next := cur.Widen(cur.Join(absValContaining(&r, interestingU64(&r))))
+			if next != cur {
+				changes++
+				cur = next
+			}
+		}
+		if changes > 140 {
+			t.Fatalf("widening chain changed %d times (want ≤140), ended at %s", changes, cur)
+		}
+	}
+}
+
+// stepOne executes one instruction on a fresh hart with the given
+// register file and returns the resulting state.
+func stepOne(t *testing.T, in isa.Inst, x [32]uint64, f [32]float64) (*emu.Hart, error) {
+	t.Helper()
+	prog := &isa.Program{
+		Name:    "one",
+		Insts:   []isa.Inst{in, {Op: isa.OpHALT}},
+		Entries: []uint64{0},
+	}
+	h := emu.NewHart(0, 0)
+	h.State.X = x
+	h.State.X[isa.Zero] = 0
+	h.State.F = f
+	env := emu.NewMainEnv(emu.NewMemory(), 1)
+	var eff emu.Effect
+	return h, h.Step(prog, env, nil, &eff)
+}
+
+// aluOps lists the integer transfer functions under differential test.
+var aluOps = []isa.Op{
+	isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpDIV, isa.OpREM,
+	isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpSLL, isa.OpSRL, isa.OpSRA,
+	isa.OpSLT, isa.OpSLTU,
+	isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI,
+	isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpSLTI, isa.OpLUI,
+}
+
+// TestALUTransfersSoundVsEmu is the core soundness contract: for
+// sampled concrete operands inside sampled abstract operands, the
+// abstract transfer must admit the value the emulator actually
+// computes. A transfer that excludes a producible value would let the
+// verifier "prove" false facts about real executions.
+func TestALUTransfersSoundVsEmu(t *testing.T) {
+	r := splitmix64(42)
+	const rd, rs1, rs2 = isa.Reg(10), isa.Reg(11), isa.Reg(12)
+	for i := 0; i < 30000; i++ {
+		op := aluOps[r.next()%uint64(len(aluOps))]
+		v1, v2 := interestingU64(&r), interestingU64(&r)
+		imm := int64(interestingU64(&r))
+		if r.next()%2 == 0 {
+			imm = int64(r.next()%128) - 64
+		}
+		in := isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Imm: imm}
+
+		var x [32]uint64
+		x[rs1], x[rs2] = v1, v2
+		h, err := stepOne(t, in, x, [32]float64{})
+		if err != nil {
+			t.Fatalf("%s: emu error: %v", in, err)
+		}
+		concrete := h.State.X[rd]
+
+		var st absState
+		st.live = true
+		for reg := 1; reg < 32; reg++ {
+			st.x[reg] = TopVal()
+		}
+		a1 := absValContaining(&r, v1)
+		a2 := absValContaining(&r, v2)
+		st.x[rs1], st.x[rs2] = a1, a2
+		absTransfer(in, 0, &st)
+		if got := st.getX(rd); !got.Contains(concrete) {
+			t.Fatalf("%s: transfer unsound: operands %s (has %#x), %s (has %#x) -> %s excludes emu result %#x",
+				in, a1, v1, a2, v2, got, concrete)
+		}
+	}
+}
+
+// fpOps lists the FP transfer functions under differential test.
+var fpOps = []isa.Op{
+	isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV, isa.OpFSQRT,
+	isa.OpFMIN, isa.OpFMAX, isa.OpFNEG, isa.OpFABS,
+	isa.OpFCVTIF, isa.OpFCVTFI, isa.OpFMVIF, isa.OpFMVFI,
+	isa.OpFEQ, isa.OpFLT,
+}
+
+// TestFPTransfersSoundVsEmu is the FP half of the soundness contract.
+func TestFPTransfersSoundVsEmu(t *testing.T) {
+	r := splitmix64(1234)
+	const rd, rs1, rs2 = isa.Reg(10), isa.Reg(11), isa.Reg(12)
+	for i := 0; i < 30000; i++ {
+		op := fpOps[r.next()%uint64(len(fpOps))]
+		in := isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		f1, f2 := interestingF64(&r), interestingF64(&r)
+		v1 := interestingU64(&r)
+
+		var x [32]uint64
+		var f [32]float64
+		x[rs1] = v1
+		f[rs1], f[rs2] = f1, f2
+		h, err := stepOne(t, in, x, f)
+		if err != nil {
+			t.Fatalf("%s: emu error: %v", in, err)
+		}
+
+		var st absState
+		st.live = true
+		for reg := 1; reg < 32; reg++ {
+			st.x[reg] = TopVal()
+		}
+		for reg := 0; reg < 32; reg++ {
+			st.f[reg] = TopF()
+		}
+		a1 := absValContaining(&r, v1)
+		g1 := fValContaining(&r, f1)
+		g2 := fValContaining(&r, f2)
+		st.x[rs1] = a1
+		st.f[rs1], st.f[rs2] = g1, g2
+		absTransfer(in, 0, &st)
+
+		switch op {
+		case isa.OpFCVTFI, isa.OpFMVFI, isa.OpFEQ, isa.OpFLT:
+			if got := st.getX(rd); !got.Contains(h.State.X[rd]) {
+				t.Fatalf("%s: transfer unsound: f-operands %s (has %g), %s (has %g) -> %s excludes emu result %#x",
+					in, g1, f1, g2, f2, got, h.State.X[rd])
+			}
+		default:
+			concrete := h.State.F[rd]
+			if got := st.f[rd]; !got.ContainsF(concrete) {
+				t.Fatalf("%s: transfer unsound: x=%s (has %#x) f-operands %s (has %g), %s (has %g) -> %s excludes emu result %g",
+					in, a1, v1, g1, f1, g2, f2, got, concrete)
+			}
+		}
+	}
+}
+
+// TestBranchRefinementSoundVsEmu checks the per-edge refinement: when
+// the emulator takes (or falls through) a branch with concrete
+// operands, refining the abstract operands along that same edge must
+// keep admitting them, and must never prune the taken edge.
+func TestBranchRefinementSoundVsEmu(t *testing.T) {
+	r := splitmix64(99)
+	branchOps := []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	const rs1, rs2 = isa.Reg(11), isa.Reg(12)
+	for i := 0; i < 30000; i++ {
+		op := branchOps[r.next()%uint64(len(branchOps))]
+		v1, v2 := interestingU64(&r), interestingU64(&r)
+		if r.next()%4 == 0 {
+			v2 = v1 // equality edges matter
+		}
+		in := isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: 1}
+
+		var x [32]uint64
+		x[rs1], x[rs2] = v1, v2
+		if _, err := stepOne(t, in, x, [32]float64{}); err != nil {
+			t.Fatalf("%s: emu error: %v", in, err)
+		}
+		taken := concreteBranch(op, v1, v2)
+
+		var st absState
+		st.live = true
+		for reg := 1; reg < 32; reg++ {
+			st.x[reg] = TopVal()
+		}
+		a1 := absValContaining(&r, v1)
+		a2 := absValContaining(&r, v2)
+		st.x[rs1], st.x[rs2] = a1, a2
+		if ok := refineBranch(&st, in, taken); !ok {
+			t.Fatalf("%s: refinement pruned the edge the emulator took: %s (has %#x), %s (has %#x), taken=%v",
+				in, a1, v1, a2, v2, taken)
+		}
+		if !st.getX(rs1).Contains(v1) || !st.getX(rs2).Contains(v2) {
+			t.Fatalf("%s: refinement dropped concrete operands: %s/%s -> %s/%s, values %#x/%#x, taken=%v",
+				in, a1, a2, st.getX(rs1), st.getX(rs2), v1, v2, taken)
+		}
+	}
+}
+
+func concreteBranch(op isa.Op, v1, v2 uint64) bool {
+	switch op {
+	case isa.OpBEQ:
+		return v1 == v2
+	case isa.OpBNE:
+		return v1 != v2
+	case isa.OpBLT:
+		return int64(v1) < int64(v2)
+	case isa.OpBGE:
+		return int64(v1) >= int64(v2)
+	case isa.OpBLTU:
+		return v1 < v2
+	case isa.OpBGEU:
+		return v1 >= v2
+	}
+	return false
+}
+
+// TestAlignFacts pins the known-bits side: shifted/masked address
+// chains prove the alignment the bounds pass relies on.
+func TestAlignFacts(t *testing.T) {
+	a := avShlConst(TopVal(), 3)
+	if got := a.Align(); got != 8 {
+		t.Fatalf("x<<3 alignment = %d, want 8", got)
+	}
+	m := avAnd(TopVal(), ConstVal(0xFFF8))
+	if got := m.Align(); got != 8 {
+		t.Fatalf("x & 0xFFF8 alignment = %d, want 8", got)
+	}
+	if m.Lo != 0 || m.Hi != 0xFFF8 {
+		t.Fatalf("x & 0xFFF8 interval = [%d,%d], want [0,65528]", m.Lo, m.Hi)
+	}
+	s := avAdd(m, ConstVal(0x1000_0000))
+	if s.Lo != 0x1000_0000 || s.Hi != 0x1000_FFF8 || s.Align() != 8 {
+		t.Fatalf("base+masked = %s, want [0x10000000,0x1000FFF8]/align8", s)
+	}
+	// Ori x, 1 excludes zero — the generator's divide-by-zero guard.
+	d := avOr(TopVal(), ConstVal(1))
+	if d.Contains(0) {
+		t.Fatalf("x|1 should exclude 0, got %s", d)
+	}
+}

@@ -11,17 +11,25 @@
 //   - no reachable instruction reads an integer or floating-point
 //     register on a path where nothing has defined it (entry state: X0,
 //     SP, GP and TP are architecturally initialised by the loader);
-//   - memory accesses whose effective address is statically resolvable
-//     (GP/Li constant chains) stay inside the declared data segment —
-//     near misses within a guard window of the segment are reported as
-//     errors rather than silently landing in unmapped memory;
+//   - memory accesses stay inside the declared data segment: an
+//     abstract interpretation (absint.go) proves an interval and an
+//     alignment for every register at every program point — including
+//     loop-carried induction addresses — and accesses whose proved
+//     interval lies outside the segment, or whose near misses land in a
+//     guard window around it, are reported as errors rather than
+//     silently touching unmapped memory;
+//   - the program provably halts within a computed instruction bound
+//     (Report.MaxInsts): cyclic regions are bounded by an induction
+//     argument over their counter registers (termination.go), and loops
+//     that resist the argument carry a SevWarn — or a SevInfo when the
+//     exit condition is data-dependent, as in a spin-wait;
 //   - non-repeatable instructions (RAND, CYCLE) are enumerated, since
 //     each one obligates a load-store-log slot for exact replay.
 //
 // The analysis is deliberately conservative where the CFG is not static:
 // an indirect jump (JALR) is treated as a function return / exit, and a
 // call (JAL with a live link register) is assumed to return to the next
-// instruction with every register defined and no constant knowledge.
+// instruction with every register defined and no value knowledge.
 // Severity separates hard contract violations (SevError) from
 // informational classification (SevInfo) and hygiene findings (SevWarn);
 // only SevError findings fail Check.
@@ -66,6 +74,9 @@ const (
 	RuleBounds    = "bounds"    // statically resolvable access outside data
 	RuleDeadCode  = "deadcode"  // instructions unreachable from any entry
 	RuleNonRepeat = "nonrepeat" // RAND/CYCLE census (informational)
+	// RuleTermination marks loops with no provable iteration bound:
+	// SevWarn, or SevInfo when the exit condition is data-dependent.
+	RuleTermination = "termination"
 )
 
 // Finding is one verifier result.
@@ -92,6 +103,24 @@ type Report struct {
 	// NonRepeat lists the reachable PCs of RAND/CYCLE instructions, in
 	// order — each needs a load-store-log slot for replay.
 	NonRepeat []int
+	// MaxInsts is the proved per-hart bound on retired instructions, 0
+	// when any reachable loop resisted the termination analysis.
+	MaxInsts int64
+	// MemFacts records the interval the abstract interpretation proved
+	// for each reachable memory access, in PC order.
+	MemFacts []MemFact
+}
+
+// MemFact is the proved address range of one memory access operand.
+type MemFact struct {
+	PC    int
+	What  string // "effective", "first", "second"
+	Addr  AbsVal // abstract effective address
+	Size  uint8
+	Align uint64 // provable address alignment (power of two)
+	// Proved reports the access is entirely inside the data segment;
+	// Violation that it is provably (or near-miss) outside.
+	Proved, Violation bool
 }
 
 // Errors returns only the SevError findings.
@@ -142,9 +171,11 @@ func Verify(p *isa.Program) *Report {
 	reach(p, succs, r)
 	checkHaltReachable(p, succs, terminator, r)
 	checkUseBeforeDef(p, succs, r)
-	checkStaticBounds(p, succs, r)
+	abs := runAbsint(p, succs)
+	checkTermination(p, abs, r)
+	checkStaticBounds(p, abs, r)
 	censusNonRepeat(p, r)
-	checkDeadCode(p, r)
+	checkDeadCode(p, abs, r)
 
 	sort.SliceStable(r.Findings, func(i, j int) bool {
 		a, b := r.Findings[i], r.Findings[j]
@@ -397,200 +428,67 @@ func regsetNames(s regset) string {
 	return strings.Join(names, ",")
 }
 
-// --- static bounds via constant propagation ---
-
-// consts is the per-PC abstract integer register file: known[r] means
-// val[r] is the exact runtime value of Xr on every path reaching the
-// instruction.
-type consts struct {
-	known uint32 // bit r: Xr has a known value
-	val   [32]uint64
-}
-
-func (c *consts) get(r isa.Reg) (uint64, bool) {
-	if r == isa.Zero {
-		return 0, true
-	}
-	return c.val[r], c.known&(1<<uint(r)) != 0
-}
-
-func (c *consts) set(r isa.Reg, v uint64) {
-	if r == isa.Zero {
-		return
-	}
-	c.known |= 1 << uint(r)
-	c.val[r] = v
-}
-
-func (c *consts) clear(r isa.Reg) {
-	if r != isa.Zero {
-		c.known &^= 1 << uint(r)
-	}
-}
-
-// meet intersects two abstract states; differing values become unknown.
-func (c *consts) meet(o *consts) (changed bool) {
-	k := c.known & o.known
-	for r := 0; r < 32; r++ {
-		bit := uint32(1) << uint(r)
-		if k&bit != 0 && c.val[r] != o.val[r] {
-			k &^= bit
-		}
-	}
-	if k != c.known {
-		c.known = k
-		return true
-	}
-	return false
-}
-
-// transfer applies one instruction's effect to the abstract state,
-// mirroring the emulator's ALU semantics for the constant-foldable ops
-// (the Li/LiSym materialisation chains: ADDI, LUI, shifts, bitwise ops
-// and register-register adds).
-func transfer(in isa.Inst, c *consts) {
-	fold2 := func(f func(a, b uint64) uint64) {
-		a, ok1 := c.get(in.Rs1)
-		b, ok2 := c.get(in.Rs2)
-		if ok1 && ok2 {
-			c.set(in.Rd, f(a, b))
-		} else {
-			c.clear(in.Rd)
-		}
-	}
-	foldImm := func(f func(a uint64) uint64) {
-		if a, ok := c.get(in.Rs1); ok {
-			c.set(in.Rd, f(a))
-		} else {
-			c.clear(in.Rd)
-		}
-	}
-	imm := uint64(in.Imm)
-	switch in.Op {
-	case isa.OpADDI:
-		foldImm(func(a uint64) uint64 { return a + imm })
-	case isa.OpLUI:
-		c.set(in.Rd, imm)
-	case isa.OpORI:
-		foldImm(func(a uint64) uint64 { return a | imm })
-	case isa.OpANDI:
-		foldImm(func(a uint64) uint64 { return a & imm })
-	case isa.OpXORI:
-		foldImm(func(a uint64) uint64 { return a ^ imm })
-	case isa.OpSLLI:
-		foldImm(func(a uint64) uint64 { return a << (imm & 63) })
-	case isa.OpSRLI:
-		foldImm(func(a uint64) uint64 { return a >> (imm & 63) })
-	case isa.OpADD:
-		fold2(func(a, b uint64) uint64 { return a + b })
-	case isa.OpSUB:
-		fold2(func(a, b uint64) uint64 { return a - b })
-	case isa.OpMUL:
-		fold2(func(a, b uint64) uint64 { return a * b })
-	case isa.OpAND:
-		fold2(func(a, b uint64) uint64 { return a & b })
-	case isa.OpOR:
-		fold2(func(a, b uint64) uint64 { return a | b })
-	case isa.OpXOR:
-		fold2(func(a, b uint64) uint64 { return a ^ b })
-	case isa.OpSLL:
-		fold2(func(a, b uint64) uint64 { return a << (b & 63) })
-	case isa.OpSRL:
-		fold2(func(a, b uint64) uint64 { return a >> (b & 63) })
-	default:
-		_, defs := usesDefs(in)
-		if defs&xbit(in.Rd) != 0 && defs < regset(1)<<32 {
-			c.clear(in.Rd)
-		}
-	}
-}
+// --- static bounds over the abstract-interpretation states ---
 
 // boundsGuard is the window past either end of the data segment inside
-// which a statically known address is treated as an off-by-N bug rather
-// than a deliberate reference to another memory region (stack, I/O).
+// which an out-of-segment address interval is treated as an off-by-N
+// bug rather than a deliberate reference to another memory region
+// (stack, I/O).
 const boundsGuard = 4096
 
-// checkStaticBounds propagates constants (entry state: GP = DataBase)
-// and checks every memory access whose effective address resolves
-// statically against the declared data segment.
-func checkStaticBounds(p *isa.Program, succs [][]int, r *Report) {
+// checkStaticBounds checks every reachable memory access against the
+// declared data segment using the proved address intervals: an access
+// is proved when its whole interval (plus size) fits inside the
+// segment, and is a violation when it is not proved and the interval
+// is confined to the segment ± the guard window — a near miss. Wide
+// or far intervals (stack traffic, pointer arithmetic the domain
+// cannot pin down) are recorded as facts but not flagged.
+func checkStaticBounds(p *isa.Program, abs *absResult, r *Report) {
 	if len(p.Data) == 0 {
 		return
 	}
-	n := len(p.Insts)
-	states := make([]*consts, n)
-	var work []int
-	for _, e := range p.Entries {
-		c := &consts{}
-		c.set(isa.GP, p.DataBase)
-		if states[e] == nil {
-			states[e] = c
-			work = append(work, int(e))
-		} else if states[e].meet(c) {
-			work = append(work, int(e))
-		}
-	}
-	for len(work) > 0 {
-		pc := work[len(work)-1]
-		work = work[:len(work)-1]
-		inst := p.Insts[pc]
-		out := *states[pc]
-		transfer(inst, &out)
-		isCall := inst.Op == isa.OpJAL && inst.Rd != isa.Zero
-		for _, s := range succs[pc] {
-			sout := out
-			if isCall && s == pc+1 {
-				sout = consts{} // callee may clobber anything
-			}
-			if states[s] == nil {
-				cp := sout
-				states[s] = &cp
-				work = append(work, s)
-			} else if states[s].meet(&sout) {
-				work = append(work, s)
-			}
-		}
-	}
-	lo, hi := p.DataBase, p.DataBase+uint64(len(p.Data))
-	for pc := 0; pc < n; pc++ {
-		if states[pc] == nil || !r.Reachable[pc] {
+	lo, hi := int64(p.DataBase), int64(p.DataBase)+int64(len(p.Data))
+	for pc := 0; pc < len(p.Insts); pc++ {
+		if !abs.in[pc].live || !r.Reachable[pc] {
 			continue
 		}
 		in := p.Insts[pc]
 		if !isa.IsMem(in.Op) {
 			continue
 		}
-		check := func(addr uint64, what string) {
-			end := addr + uint64(in.Size)
-			if addr >= lo && end <= hi {
-				return // fully inside
+		st := abs.in[pc]
+		check := func(addr AbsVal, what string) {
+			if addr.IsBot() {
+				return
 			}
-			// Straddling either boundary, or a near miss inside the guard
-			// window, is a statically provable out-of-bounds access.
-			near := addr+boundsGuard >= lo && addr < hi+boundsGuard
-			if near {
-				r.addf(SevError, RuleBounds, pc,
-					"%s: %s address %#x (+%d bytes) is outside the data segment [%#x,%#x)",
-					in, what, addr, in.Size, lo, hi)
+			fact := MemFact{PC: pc, What: what, Addr: addr, Size: in.Size, Align: addr.Align()}
+			switch {
+			case addr.Lo >= lo && addr.Hi+int64(in.Size) <= hi:
+				fact.Proved = true
+			case addr.Lo >= lo-boundsGuard && addr.Hi < hi+boundsGuard:
+				// The whole interval is near the segment yet not inside it:
+				// a provable out-of-bounds access or straddle.
+				fact.Violation = true
+				if v, ok := addr.IsConst(); ok {
+					r.addf(SevError, RuleBounds, pc,
+						"%s: %s address %#x (+%d bytes) is outside the data segment [%#x,%#x)",
+						in, what, v, in.Size, lo, hi)
+				} else {
+					r.addf(SevError, RuleBounds, pc,
+						"%s: %s address range %s (+%d bytes) cannot be proven inside the data segment [%#x,%#x)",
+						in, what, addr, in.Size, lo, hi)
+				}
 			}
+			r.MemFacts = append(r.MemFacts, fact)
 		}
-		st := states[pc]
 		switch in.Op {
 		case isa.OpLD, isa.OpST, isa.OpFLD, isa.OpFST:
-			if base, ok := st.get(in.Rs1); ok {
-				check(base+uint64(in.Imm), "effective")
-			}
+			check(avAdd(st.getX(in.Rs1), ConstVal(uint64(in.Imm))), "effective")
 		case isa.OpGLD, isa.OpSST:
-			if base, ok := st.get(in.Rs1); ok {
-				check(base+uint64(in.Imm), "first")
-			}
-			if base, ok := st.get(in.Rs2); ok {
-				check(base, "second")
-			}
+			check(avAdd(st.getX(in.Rs1), ConstVal(uint64(in.Imm))), "first")
+			check(st.getX(in.Rs2), "second")
 		case isa.OpSWP:
-			if base, ok := st.get(in.Rs1); ok {
-				check(base, "effective")
-			}
+			check(st.getX(in.Rs1), "effective")
 		}
 	}
 }
@@ -609,20 +507,34 @@ func censusNonRepeat(p *isa.Program, r *Report) {
 	}
 }
 
-// checkDeadCode reports instructions no entry point reaches.
-func checkDeadCode(p *isa.Program, r *Report) {
+// checkDeadCode reports instructions no entry point reaches (a warning)
+// and instructions the value analysis proves unreachable even though CFG
+// edges lead there — the dead arm of a statically decided branch
+// (informational: generators deliberately emit always-taken guards).
+func checkDeadCode(p *isa.Program, abs *absResult, r *Report) {
 	dead, first := 0, -1
+	semDead, semFirst := 0, -1
 	for pc := range p.Insts {
 		if !r.Reachable[pc] {
 			if first < 0 {
 				first = pc
 			}
 			dead++
+		} else if !abs.in[pc].live {
+			if semFirst < 0 {
+				semFirst = pc
+			}
+			semDead++
 		}
 	}
 	if dead > 0 {
 		r.addf(SevWarn, RuleDeadCode, first,
 			"%d instruction(s) unreachable from any entry point, first at pc %d (%s)",
 			dead, first, p.Insts[first])
+	}
+	if semDead > 0 {
+		r.addf(SevInfo, RuleDeadCode, semFirst,
+			"%d instruction(s) on statically decided branch arms can never execute, first at pc %d (%s)",
+			semDead, semFirst, p.Insts[semFirst])
 	}
 }

@@ -163,8 +163,16 @@ func (p Profile) Build(iters int64) (*isa.Program, error) {
 	b := asm.New("spec." + p.Name)
 
 	// Data: working set initialised with aligned in-set offsets so
-	// pointer chases stay inside the set.
-	ws := b.Reserve(p.WorkingSet)
+	// pointer chases stay inside the set. Streaming profiles address at
+	// immediate offsets up to OpsPerBlock*8 past the walking pointer,
+	// which wraps to at most WorkingSet-8 — the tail pad keeps those
+	// accesses inside the declared segment (zero-filled, so results are
+	// unchanged; the wrap mask still covers exactly the working set).
+	pad := 0
+	if p.Streaming {
+		pad = (p.OpsPerBlock + 1) * 8
+	}
+	ws := b.Reserve(p.WorkingSet + pad)
 	for off := 0; off < p.WorkingSet; off += 8 {
 		v := uint64(rng.Intn(p.WorkingSet)) &^ 7
 		b.SetWord64(ws+uint64(off), v)
